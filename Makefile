@@ -1,0 +1,53 @@
+# cqabench — standard targets.
+
+GO ?= go
+
+.PHONY: all build test test-short vet cover bench fuzz figures examples clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+test-short:
+	$(GO) test -short ./...
+
+cover:
+	$(GO) test -cover ./...
+
+# Regenerates every paper figure family and the ablations as benchmarks.
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Short fuzzing sessions over all parsers.
+fuzz:
+	$(GO) test -fuzz FuzzParse -fuzztime 30s ./internal/cq/
+	$(GO) test -fuzz FuzzParseSchema -fuzztime 30s ./internal/relation/
+	$(GO) test -fuzz FuzzReadDB -fuzztime 30s ./internal/relation/
+	$(GO) test -fuzz FuzzParseDIMACS -fuzztime 30s ./internal/dnf/
+
+# The paper's figures as text tables under results/.
+figures:
+	$(GO) run ./cmd/cqabench figure -id 1 -balance 0   -joins 1
+	$(GO) run ./cmd/cqabench figure -id 1 -balance 0.5 -joins 1
+	$(GO) run ./cmd/cqabench figure -id 2 -noise 0.4 -joins 1
+	$(GO) run ./cmd/cqabench figure -id 3
+	$(GO) run ./cmd/cqabench figure -id 4 -noise 0.4 -balance 0
+	$(GO) run ./cmd/cqabench validate -benchmark tpch
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/certain
+	$(GO) run ./examples/customschema
+	$(GO) run ./examples/dnfcount
+	$(GO) run ./examples/warehouse
+	$(GO) run ./examples/validation
+
+clean:
+	rm -rf grid-results scenario-export

@@ -1,0 +1,112 @@
+package cqabench
+
+import (
+	"io"
+
+	"cqabench/internal/cq"
+	"cqabench/internal/cqa"
+	"cqabench/internal/engine"
+	"cqabench/internal/relation"
+	"cqabench/internal/synopsis"
+)
+
+// This file extends the root API with the library's second tier:
+// synopses, automatic scheme selection, parallel execution, streaming,
+// serialization, schema DSL, and CQ reasoning. The core flows live in
+// cqabench.go.
+
+// Synopsis is the encoded (Σ,Q)-synopsis set of a database-query pair:
+// one admissible pair per answer tuple with positive relative frequency.
+type Synopsis = synopsis.Set
+
+// BuildSynopsis runs the preprocessing step of Section 5: it computes the
+// synopsis of every answer tuple in one pass over the homomorphisms.
+// Reuse the result across schemes — that is the point of the step.
+func BuildSynopsis(db *Database, q *Query) (*Synopsis, error) {
+	return synopsis.Build(db, q)
+}
+
+// ApproximateFromSynopsis runs one scheme over a prebuilt synopsis.
+func ApproximateFromSynopsis(set *Synopsis, scheme Scheme, opts Options) ([]TupleFreq, Stats, error) {
+	return cqa.ApxAnswersFromSet(set, scheme, opts)
+}
+
+// ApproximateParallel fans the per-tuple estimations over a worker pool
+// (workers <= 0 selects GOMAXPROCS). Results are deterministic for a
+// fixed seed regardless of the worker count.
+func ApproximateParallel(set *Synopsis, scheme Scheme, opts Options, workers int) ([]TupleFreq, Stats, error) {
+	return cqa.ApxAnswersParallel(set, scheme, opts, workers)
+}
+
+// SelectScheme picks the indicated scheme for a synopsis per the paper's
+// take-home messages: Natural for Boolean / near-zero-balance queries,
+// KLM otherwise.
+func SelectScheme(set *Synopsis) Scheme { return cqa.SelectScheme(set) }
+
+// AutoAnswers approximates with the automatically selected scheme and
+// reports which one ran.
+func AutoAnswers(set *Synopsis, opts Options) ([]TupleFreq, Stats, Scheme, error) {
+	return cqa.AutoAnswers(set, opts)
+}
+
+// StreamSynopses emits one entry (answer tuple + admissible pair) at a
+// time in ascending tuple order, holding only one encoded synopsis alive
+// per callback (the bounded-memory remark of Appendix C). Return
+// SynopsisStop from the callback to end early.
+func StreamSynopses(db *Database, q *Query, fn func(SynopsisEntry) error) error {
+	return synopsis.Stream(db, q, fn)
+}
+
+// SynopsisEntry is one answer tuple with its encoded synopsis.
+type SynopsisEntry = synopsis.Entry
+
+// SynopsisStop ends StreamSynopses early without error.
+var SynopsisStop = synopsis.ErrStop
+
+// WriteDatabase serializes a database in the library's line-oriented text
+// format; ReadDatabase parses it back over the same schema.
+func WriteDatabase(w io.Writer, db *Database) error { return relation.WriteDB(w, db) }
+
+// ReadDatabase parses a database previously written by WriteDatabase.
+func ReadDatabase(r io.Reader, s *Schema) (*Database, error) { return relation.ReadDB(r, s) }
+
+// ParseSchema reads a schema from the text DSL:
+//
+//	relation Employee(id*, name, dept)
+//	fk Employee(dept) -> Dept(name)
+func ParseSchema(r io.Reader) (*Schema, error) { return relation.ParseSchema(r) }
+
+// ParseSchemaString is ParseSchema over a string.
+func ParseSchemaString(s string) (*Schema, error) { return relation.ParseSchemaString(s) }
+
+// WriteSchema renders a schema back into the DSL.
+func WriteSchema(w io.Writer, s *Schema) error { return relation.WriteSchema(w, s) }
+
+// Contained decides classic CQ containment q1 ⊆ q2 over db's schema and
+// dictionary (Chandra–Merlin).
+func Contained(db *Database, q1, q2 *Query) (bool, error) {
+	return engine.Contained(db.Schema, db.Dict, q1, q2)
+}
+
+// EquivalentQueries reports whether two CQs are semantically equivalent.
+func EquivalentQueries(db *Database, q1, q2 *Query) (bool, error) {
+	return engine.Equivalent(db.Schema, db.Dict, q1, q2)
+}
+
+// MinimizeQuery returns an equivalent subquery with a minimal atom set
+// (the core, up to renaming).
+func MinimizeQuery(db *Database, q *Query) (*Query, error) {
+	return engine.Minimize(db.Schema, db.Dict, q)
+}
+
+// Answers evaluates Q(D) classically (ignoring inconsistency): the
+// distinct answer tuples over the database as-is.
+func Answers(db *Database, q *Query) ([]Tuple, error) {
+	return engine.NewEvaluator(db).Answers(q)
+}
+
+// compile-time re-export checks: the aliases must track the internal types.
+var (
+	_ = cq.Query{}
+	_ = relation.Tuple{}
+)

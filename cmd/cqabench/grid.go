@@ -1,0 +1,185 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"cqabench/internal/cqa"
+	"cqabench/internal/harness"
+	"cqabench/internal/scenario"
+)
+
+// cmdGrid regenerates the full appendix matrix (Figures 6–13): every
+// Noise[q, j], Balance[p, j] and Joins[p, q] scenario over the requested
+// level grids, writing one text table and one CSV per scenario into a
+// directory. With the default reduced grids this is minutes of work; the
+// paper-scale grids are a flag away (and a weekend of CPU).
+func cmdGrid(args []string) error {
+	fs := flag.NewFlagSet("grid", flag.ContinueOnError)
+	sf := fs.Float64("sf", 0.0002, "TPC-H scale factor")
+	seed := fs.Uint64("seed", 1, "PRNG seed")
+	timeout := fs.Duration("timeout", 5*time.Second, "per (pair, scheme) timeout")
+	queries := fs.Int("queries", 1, "queries per join level")
+	outDir := fs.String("out", "grid-results", "output directory")
+	noiseLevels := fs.String("noise-levels", "0.2,0.6,1.0", "noise percentages")
+	balanceLevels := fs.String("balance-levels", "0,0.5,1.0", "balance targets")
+	joinLevels := fs.String("join-levels", "1,2,3", "join counts")
+	families := fs.String("families", "noise,balance,joins", "which scenario families to run")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if err := os.MkdirAll(*outDir, 0o755); err != nil {
+		return err
+	}
+
+	noises := parseFloats(*noiseLevels)
+	balances := parseFloats(*balanceLevels)
+	var joins []int
+	for _, v := range parseFloats(*joinLevels) {
+		joins = append(joins, int(v))
+	}
+
+	labCfg := scenario.DefaultConfig()
+	labCfg.ScaleFactor = *sf
+	labCfg.Seed = *seed
+	labCfg.QueriesPerJoin = *queries
+	lab, err := scenario.NewLab(labCfg)
+	if err != nil {
+		return err
+	}
+	hcfg := harness.Config{Opts: cqa.DefaultOptions(), Timeout: *timeout, Schemes: cqa.Schemes}
+
+	emit := func(name string, fig *harness.Figure, table string) error {
+		if err := os.WriteFile(filepath.Join(*outDir, name+".txt"), []byte(table), 0o644); err != nil {
+			return err
+		}
+		f, err := os.Create(filepath.Join(*outDir, name+".csv"))
+		if err != nil {
+			return err
+		}
+		if err := fig.WriteCSV(f); err != nil {
+			f.Close()
+			return err
+		}
+		fmt.Println("wrote", name)
+		return f.Close()
+	}
+
+	fams := strings.Split(*families, ",")
+	has := func(f string) bool {
+		for _, x := range fams {
+			if strings.TrimSpace(x) == f {
+				return true
+			}
+		}
+		return false
+	}
+
+	if has("noise") {
+		for _, q := range balances {
+			for _, j := range joins {
+				w, err := lab.NoiseScenario(q, j, noises)
+				if err != nil {
+					return err
+				}
+				fig, err := harness.RunNoise(w, hcfg)
+				if err != nil {
+					return err
+				}
+				if err := emit(fmt.Sprintf("noise_b%02.0f_j%d", q*100, j), fig, fig.Table()); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	if has("balance") {
+		for _, p := range noises {
+			for _, j := range joins {
+				w, err := lab.BalanceScenario(p, j, balances)
+				if err != nil {
+					return err
+				}
+				fig, err := harness.RunBalance(w, hcfg)
+				if err != nil {
+					return err
+				}
+				if err := emit(fmt.Sprintf("balance_p%03.0f_j%d", p*100, j), fig, fig.Table()); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	if has("joins") {
+		for _, p := range noises {
+			for _, q := range balances {
+				w, err := lab.JoinsScenario(p, q, joins)
+				if err != nil {
+					return err
+				}
+				fig, err := harness.RunJoins(w, hcfg)
+				if err != nil {
+					return err
+				}
+				if err := emit(fmt.Sprintf("joins_p%03.0f_b%02.0f", p*100, q*100), fig, fig.ShareTable()); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// cmdAccuracy audits the schemes' empirical (eps, delta) behaviour against
+// exact relative frequencies on a scenario.
+func cmdAccuracy(args []string) error {
+	fs := flag.NewFlagSet("accuracy", flag.ContinueOnError)
+	sf := fs.Float64("sf", 0.0002, "TPC-H scale factor")
+	seed := fs.Uint64("seed", 1, "PRNG seed")
+	eps := fs.Float64("eps", 0.1, "relative error")
+	delta := fs.Float64("delta", 0.25, "failure probability")
+	timeout := fs.Duration("timeout", 10*time.Second, "per (pair, scheme) timeout")
+	joins := fs.Int("joins", 1, "join level")
+	noisep := fs.Float64("noise", 0.4, "noise level")
+	balanceLevels := fs.String("balance-levels", "0.5,1.0", "balance targets")
+	maxImages := fs.Int("max-images", 22, "exact computation limit per component")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	labCfg := scenario.DefaultConfig()
+	labCfg.ScaleFactor = *sf
+	labCfg.Seed = *seed
+	labCfg.QueriesPerJoin = 1
+	lab, err := scenario.NewLab(labCfg)
+	if err != nil {
+		return err
+	}
+	w, err := lab.BalanceScenario(*noisep, *joins, parseFloats(*balanceLevels))
+	if err != nil {
+		return err
+	}
+	hcfg := harness.Config{
+		Opts:    cqa.Options{Eps: *eps, Delta: *delta, Seed: 5489},
+		Timeout: *timeout,
+		Schemes: cqa.Schemes,
+	}
+	rep, err := harness.Accuracy(w, hcfg, *maxImages)
+	if err != nil {
+		return err
+	}
+	fmt.Print(rep.Table())
+	return nil
+}
+
+func parseFloats(s string) []float64 {
+	var out []float64
+	for _, part := range strings.Split(s, ",") {
+		var v float64
+		fmt.Sscanf(strings.TrimSpace(part), "%g", &v)
+		out = append(out, v)
+	}
+	return out
+}

@@ -1,0 +1,274 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// The CLI is exercised through run(), the same entry main() uses.
+
+func TestRunNoArgs(t *testing.T) {
+	if err := run(nil); err == nil {
+		t.Fatal("no subcommand accepted")
+	}
+	if err := run([]string{"bogus"}); err == nil {
+		t.Fatal("unknown subcommand accepted")
+	}
+	if err := run([]string{"help"}); err != nil {
+		t.Fatalf("help errored: %v", err)
+	}
+}
+
+func TestGenNoiseAnswerPipeline(t *testing.T) {
+	dir := t.TempDir()
+	dbPath := filepath.Join(dir, "db.txt")
+	noisyPath := filepath.Join(dir, "noisy.txt")
+
+	if err := run([]string{"gen", "-benchmark", "tpch", "-sf", "0.0002", "-seed", "1", "-out", dbPath}); err != nil {
+		t.Fatalf("gen: %v", err)
+	}
+	if fi, err := os.Stat(dbPath); err != nil || fi.Size() == 0 {
+		t.Fatalf("gen output missing: %v", err)
+	}
+
+	query := "Q(seg) :- customer(c, n, a, nk, ph, b, seg, cm), orders(o, c, st, tp, d, pr, cl, sp, ocm)"
+	if err := run([]string{"noise", "-benchmark", "tpch", "-in", dbPath, "-query", query, "-p", "0.4", "-out", noisyPath}); err != nil {
+		t.Fatalf("noise: %v", err)
+	}
+
+	if err := run([]string{"answer", "-benchmark", "tpch", "-in", noisyPath, "-query", query, "-scheme", "KLM", "-eps", "0.2", "-delta", "0.3"}); err != nil {
+		t.Fatalf("answer: %v", err)
+	}
+	if err := run([]string{"stats", "-benchmark", "tpch", "-in", noisyPath, "-query", query}); err != nil {
+		t.Fatalf("stats: %v", err)
+	}
+}
+
+func TestExactOnSmallInput(t *testing.T) {
+	dir := t.TempDir()
+	dbPath := filepath.Join(dir, "small.txt")
+	content := "region|i:0|s:AFRICA|s:x\nregion|i:1|s:ASIA|s:y\n"
+	if err := os.WriteFile(dbPath, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"exact", "-benchmark", "tpch", "-in", dbPath, "-query", "Q(n) :- region(k, n, c)"}); err != nil {
+		t.Fatalf("exact: %v", err)
+	}
+}
+
+func TestQuerygen(t *testing.T) {
+	dir := t.TempDir()
+	dbPath := filepath.Join(dir, "db.txt")
+	if err := run([]string{"gen", "-benchmark", "tpch", "-sf", "0.0002", "-out", dbPath}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"querygen", "-benchmark", "tpch", "-in", dbPath, "-joins", "2", "-constants", "2", "-balances", "0.3,0.8", "-dqg-iterations", "20"}); err != nil {
+		t.Fatalf("querygen: %v", err)
+	}
+}
+
+func TestSubcommandFlagErrors(t *testing.T) {
+	cases := [][]string{
+		{"gen", "-benchmark", "bogus"},
+		{"noise"},
+		{"answer"},
+		{"exact"},
+		{"querygen"},
+		{"stats"},
+		{"answer", "-in", "x", "-query", "Q() :- r(x)", "-scheme", "Bogus"},
+		{"figure", "-id", "99"},
+	}
+	for _, args := range cases {
+		if err := run(args); err == nil {
+			t.Errorf("args %v accepted", args)
+		}
+	}
+}
+
+func TestFigureSmall(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a full scenario")
+	}
+	if err := run([]string{"figure", "-id", "1", "-sf", "0.0002", "-queries", "1", "-joins", "1", "-balance", "0", "-levels", "0.4", "-timeout", "5s"}); err != nil {
+		t.Fatalf("figure: %v", err)
+	}
+}
+
+func TestValidateSingleTemplate(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a full scenario")
+	}
+	if err := run([]string{"validate", "-benchmark", "tpcds", "-sf", "0.0002", "-template", "82", "-levels", "0.3", "-timeout", "3s"}); err != nil {
+		t.Fatalf("validate: %v", err)
+	}
+}
+
+func TestAccuracySubcommand(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a full audit")
+	}
+	if err := run([]string{"accuracy", "-sf", "0.0002", "-balance-levels", "1.0", "-eps", "0.2", "-delta", "0.3"}); err != nil {
+		t.Fatalf("accuracy: %v", err)
+	}
+}
+
+func TestGridSubcommand(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs scenarios")
+	}
+	dir := t.TempDir()
+	if err := run([]string{"grid", "-sf", "0.0002", "-out", dir,
+		"-noise-levels", "0.4", "-balance-levels", "0.5", "-join-levels", "1",
+		"-families", "noise", "-timeout", "5s"}); err != nil {
+		t.Fatalf("grid: %v", err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil || len(entries) != 2 { // one .txt + one .csv
+		t.Fatalf("grid output: %v entries, err %v", len(entries), err)
+	}
+}
+
+func TestAnswerParallelFlag(t *testing.T) {
+	dir := t.TempDir()
+	dbPath := filepath.Join(dir, "db.txt")
+	if err := run([]string{"gen", "-benchmark", "tpch", "-sf", "0.0002", "-out", dbPath}); err != nil {
+		t.Fatal(err)
+	}
+	query := "Q(n) :- region(k, n, c)"
+	if err := run([]string{"answer", "-benchmark", "tpch", "-in", dbPath, "-query", query, "-scheme", "KL", "-parallel", "4"}); err != nil {
+		t.Fatalf("answer -parallel: %v", err)
+	}
+}
+
+func TestCustomSchemaFlow(t *testing.T) {
+	dir := t.TempDir()
+	schemaPath := filepath.Join(dir, "schema.txt")
+	dbPath := filepath.Join(dir, "db.txt")
+	schema := "relation Employee(id*, name, dept)\nrelation Dept(name*, budget)\nfk Employee(dept) -> Dept(name)\n"
+	if err := os.WriteFile(schemaPath, []byte(schema), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	data := "Employee|i:1|s:Bob|s:HR\nEmployee|i:1|s:Bob|s:IT\nEmployee|i:2|s:Alice|s:IT\nDept|s:HR|i:100\nDept|s:IT|i:200\n"
+	if err := os.WriteFile(dbPath, []byte(data), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	query := "Q(n) :- Employee(i, n, d), Dept(d, b)"
+	if err := run([]string{"exact", "-schema", schemaPath, "-in", dbPath, "-query", query}); err != nil {
+		t.Fatalf("exact with custom schema: %v", err)
+	}
+	if err := run([]string{"answer", "-schema", schemaPath, "-in", dbPath, "-query", query, "-scheme", "Natural"}); err != nil {
+		t.Fatalf("answer with custom schema: %v", err)
+	}
+	if err := run([]string{"stats", "-schema", schemaPath, "-in", dbPath}); err != nil {
+		t.Fatalf("stats with custom schema: %v", err)
+	}
+	if err := run([]string{"exact", "-schema", filepath.Join(dir, "missing.txt"), "-in", dbPath, "-query", query}); err == nil {
+		t.Fatal("missing schema file accepted")
+	}
+}
+
+func TestStatsExplainFlag(t *testing.T) {
+	dir := t.TempDir()
+	dbPath := filepath.Join(dir, "db.txt")
+	if err := run([]string{"gen", "-benchmark", "tpch", "-sf", "0.0002", "-out", dbPath}); err != nil {
+		t.Fatal(err)
+	}
+	query := "Q(n) :- region(k, n, c), nation(nk, nn, k, cm)"
+	if err := run([]string{"stats", "-benchmark", "tpch", "-in", dbPath, "-query", query, "-explain"}); err != nil {
+		t.Fatalf("stats -explain: %v", err)
+	}
+}
+
+func TestExportRunScenarioPipeline(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs scenarios")
+	}
+	dir := filepath.Join(t.TempDir(), "scn")
+	if err := run([]string{"export", "-family", "balance", "-sf", "0.0002", "-noise", "0.4", "-joins", "1", "-levels", "0.5,1.0", "-out", dir}); err != nil {
+		t.Fatalf("export: %v", err)
+	}
+	if err := run([]string{"runscenario", "-dir", dir, "-axis", "balance", "-timeout", "5s", "-eps", "0.2", "-delta", "0.3", "-chart"}); err != nil {
+		t.Fatalf("runscenario: %v", err)
+	}
+}
+
+func TestDNFSubcommand(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "f.dnf")
+	if err := os.WriteFile(path, []byte("p dnf 4 2\n1 2 0\n-3 0\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"dnf", "-in", path, "-exact"}); err != nil {
+		t.Fatalf("dnf -exact: %v", err)
+	}
+	if err := run([]string{"dnf", "-in", path, "-method", "KL", "-eps", "0.2", "-delta", "0.3"}); err != nil {
+		t.Fatalf("dnf approx: %v", err)
+	}
+	if err := run([]string{"dnf", "-in", path, "-method", "Bogus"}); err == nil {
+		t.Fatal("bad method accepted")
+	}
+	if err := run([]string{"dnf"}); err == nil {
+		t.Fatal("missing -in accepted")
+	}
+}
+
+func TestNoiseObliviousFlag(t *testing.T) {
+	dir := t.TempDir()
+	dbPath := filepath.Join(dir, "db.txt")
+	outPath := filepath.Join(dir, "noisy.txt")
+	if err := run([]string{"gen", "-benchmark", "tpch", "-sf", "0.0002", "-out", dbPath}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"noise", "-benchmark", "tpch", "-in", dbPath, "-oblivious", "-p", "0.2", "-out", outPath}); err != nil {
+		t.Fatalf("oblivious noise: %v", err)
+	}
+	if err := run([]string{"noise", "-benchmark", "tpch", "-in", dbPath}); err == nil {
+		t.Fatal("noise without -query or -oblivious accepted")
+	}
+}
+
+func TestCompareSubcommand(t *testing.T) {
+	dir := t.TempDir()
+	dbPath := filepath.Join(dir, "db.txt")
+	if err := run([]string{"gen", "-benchmark", "tpch", "-sf", "0.0002", "-out", dbPath}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"compare", "-benchmark", "tpch", "-in", dbPath,
+		"-query", "Q(n) :- region(k, n, c)", "-eps", "0.2", "-delta", "0.3", "-timeout", "5s"}); err != nil {
+		t.Fatalf("compare: %v", err)
+	}
+	if err := run([]string{"compare"}); err == nil {
+		t.Fatal("missing flags accepted")
+	}
+}
+
+func TestSelftest(t *testing.T) {
+	if err := run([]string{"selftest"}); err != nil {
+		t.Fatalf("selftest: %v", err)
+	}
+}
+
+func TestFigureJSONFlag(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a full scenario")
+	}
+	dir := t.TempDir()
+	jsonPath := filepath.Join(dir, "fig.json")
+	if err := run([]string{"figure", "-id", "1", "-sf", "0.0002", "-queries", "1", "-joins", "1", "-balance", "0", "-levels", "0.4", "-timeout", "5s", "-json", jsonPath}); err != nil {
+		t.Fatalf("figure -json: %v", err)
+	}
+	data, err := os.ReadFile(jsonPath)
+	if err != nil || len(data) == 0 {
+		t.Fatalf("json output missing: %v", err)
+	}
+}
+
+func TestFigureID5DelegatesToValidate(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs validation scenarios")
+	}
+	if err := run([]string{"figure", "-id", "5", "-sf", "0.0002", "-timeout", "1s"}); err != nil {
+		t.Fatalf("figure -id 5: %v", err)
+	}
+}

@@ -1,0 +1,3 @@
+module cqabench
+
+go 1.22

@@ -1,0 +1,41 @@
+package cq
+
+import (
+	"testing"
+
+	"cqabench/internal/relation"
+)
+
+// FuzzParse exercises the query parser with arbitrary input: it must never
+// panic, and anything it accepts must render and re-parse to the same
+// rendering (idempotence of the concrete syntax).
+func FuzzParse(f *testing.F) {
+	for _, seed := range []string{
+		"Q(x, y) :- R(x, 'a', y), S(y, 42)",
+		"Q() :- R(_, _, x)",
+		"Q(x) :- R(x, -5, \"two words\")",
+		"Q(x) :- R(x).",
+		"Q(",
+		"Q() :- ",
+		"Q(x) :- R(x, 'unterminated",
+		"Q(z) :- R(x)",
+		"Q\x00() :- R(x)",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, input string) {
+		d := relation.NewDict()
+		q, err := Parse(input, d)
+		if err != nil {
+			return
+		}
+		rendered := q.Render(d)
+		q2, err := Parse(rendered, d)
+		if err != nil {
+			t.Fatalf("accepted %q but rejected its own rendering %q: %v", input, rendered, err)
+		}
+		if got := q2.Render(d); got != rendered {
+			t.Fatalf("rendering not idempotent: %q vs %q", got, rendered)
+		}
+	})
+}

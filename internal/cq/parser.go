@@ -1,0 +1,248 @@
+package cq
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"unicode"
+
+	"cqabench/internal/relation"
+)
+
+// Parse reads a conjunctive query in the syntax
+//
+//	Q(x, y) :- R(x, 'a', y), S(y, 42)
+//
+// Identifiers are variables; single- or double-quoted tokens are string
+// constants; bare integers are integer constants; `_` is a fresh anonymous
+// variable per occurrence. Constants are interned into dict. The head
+// predicate name is ignored (any identifier is accepted).
+func Parse(input string, dict *relation.Dict) (*Query, error) {
+	p := &parser{src: input, dict: dict, vars: map[string]int{}}
+	q, err := p.parseQuery()
+	if err != nil {
+		return nil, fmt.Errorf("cq: parse %q: %w", input, err)
+	}
+	return q, nil
+}
+
+// MustParse is Parse but panics on error; for tests and examples.
+func MustParse(input string, dict *relation.Dict) *Query {
+	q, err := Parse(input, dict)
+	if err != nil {
+		panic(err)
+	}
+	return q
+}
+
+type parser struct {
+	src  string
+	pos  int
+	dict *relation.Dict
+	vars map[string]int
+	q    Query
+}
+
+func (p *parser) parseQuery() (*Query, error) {
+	if _, err := p.ident(); err != nil { // head predicate
+		return nil, err
+	}
+	headVars, err := p.headArgs()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expect(":-"); err != nil {
+		return nil, err
+	}
+	for {
+		atom, err := p.atom()
+		if err != nil {
+			return nil, err
+		}
+		p.q.Atoms = append(p.q.Atoms, atom)
+		p.skipSpace()
+		if p.eat(",") {
+			continue
+		}
+		break
+	}
+	p.skipSpace()
+	p.eat(".")
+	p.skipSpace()
+	if p.pos != len(p.src) {
+		return nil, fmt.Errorf("trailing input at offset %d", p.pos)
+	}
+	for _, name := range headVars {
+		id, ok := p.vars[name]
+		if !ok {
+			return nil, fmt.Errorf("answer variable %s not in body", name)
+		}
+		p.q.Out = append(p.q.Out, id)
+	}
+	p.q.NumVars = len(p.q.VarNames)
+	return &p.q, nil
+}
+
+func (p *parser) headArgs() ([]string, error) {
+	if err := p.expect("("); err != nil {
+		return nil, err
+	}
+	var names []string
+	p.skipSpace()
+	if p.eat(")") {
+		return nil, nil
+	}
+	for {
+		name, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		names = append(names, name)
+		p.skipSpace()
+		if p.eat(",") {
+			continue
+		}
+		if err := p.expect(")"); err != nil {
+			return nil, err
+		}
+		return names, nil
+	}
+}
+
+func (p *parser) atom() (Atom, error) {
+	rel, err := p.ident()
+	if err != nil {
+		return Atom{}, err
+	}
+	if err := p.expect("("); err != nil {
+		return Atom{}, err
+	}
+	var args []Term
+	for {
+		t, err := p.term()
+		if err != nil {
+			return Atom{}, err
+		}
+		args = append(args, t)
+		p.skipSpace()
+		if p.eat(",") {
+			continue
+		}
+		if err := p.expect(")"); err != nil {
+			return Atom{}, err
+		}
+		return Atom{Rel: rel, Args: args}, nil
+	}
+}
+
+func (p *parser) term() (Term, error) {
+	p.skipSpace()
+	if p.pos >= len(p.src) {
+		return Term{}, fmt.Errorf("unexpected end of input")
+	}
+	c := p.src[p.pos]
+	switch {
+	case c == '\'' || c == '"':
+		s, err := p.quoted(c)
+		if err != nil {
+			return Term{}, err
+		}
+		return C(p.dict.String(s)), nil
+	case c == '-' || (c >= '0' && c <= '9'):
+		start := p.pos
+		if c == '-' {
+			p.pos++
+		}
+		for p.pos < len(p.src) && p.src[p.pos] >= '0' && p.src[p.pos] <= '9' {
+			p.pos++
+		}
+		n, err := strconv.ParseInt(p.src[start:p.pos], 10, 64)
+		if err != nil {
+			return Term{}, fmt.Errorf("bad integer at %d: %w", start, err)
+		}
+		return C(p.dict.Int(n)), nil
+	case c == '_' && !p.identContinues(p.pos+1):
+		// A bare underscore is a fresh anonymous variable per occurrence;
+		// identifiers merely starting with '_' (such as the rendering of
+		// an anonymous variable, "_3") fall through to the named case.
+		p.pos++
+		id := len(p.q.VarNames)
+		p.q.VarNames = append(p.q.VarNames, fmt.Sprintf("_%d", id))
+		return V(id), nil
+	default:
+		name, err := p.ident()
+		if err != nil {
+			return Term{}, err
+		}
+		id, ok := p.vars[name]
+		if !ok {
+			id = len(p.q.VarNames)
+			p.vars[name] = id
+			p.q.VarNames = append(p.q.VarNames, name)
+		}
+		return V(id), nil
+	}
+}
+
+func (p *parser) quoted(q byte) (string, error) {
+	p.pos++ // opening quote
+	start := p.pos
+	for p.pos < len(p.src) && p.src[p.pos] != q {
+		p.pos++
+	}
+	if p.pos >= len(p.src) {
+		return "", fmt.Errorf("unterminated string at %d", start-1)
+	}
+	s := p.src[start:p.pos]
+	p.pos++
+	return s, nil
+}
+
+func (p *parser) ident() (string, error) {
+	p.skipSpace()
+	start := p.pos
+	for p.pos < len(p.src) {
+		r := rune(p.src[p.pos])
+		if unicode.IsLetter(r) || r == '_' || (p.pos > start && (unicode.IsDigit(r))) {
+			p.pos++
+			continue
+		}
+		break
+	}
+	if p.pos == start {
+		return "", fmt.Errorf("expected identifier at offset %d", start)
+	}
+	return p.src[start:p.pos], nil
+}
+
+// identContinues reports whether position i holds a character that would
+// extend an identifier.
+func (p *parser) identContinues(i int) bool {
+	if i >= len(p.src) {
+		return false
+	}
+	r := rune(p.src[i])
+	return unicode.IsLetter(r) || unicode.IsDigit(r) || r == '_'
+}
+
+func (p *parser) skipSpace() {
+	for p.pos < len(p.src) && (p.src[p.pos] == ' ' || p.src[p.pos] == '\t' || p.src[p.pos] == '\n' || p.src[p.pos] == '\r') {
+		p.pos++
+	}
+}
+
+func (p *parser) eat(tok string) bool {
+	p.skipSpace()
+	if strings.HasPrefix(p.src[p.pos:], tok) {
+		p.pos += len(tok)
+		return true
+	}
+	return false
+}
+
+func (p *parser) expect(tok string) error {
+	if !p.eat(tok) {
+		return fmt.Errorf("expected %q at offset %d", tok, p.pos)
+	}
+	return nil
+}

@@ -1,0 +1,242 @@
+// Package dnf implements the DNF-counting substrate the paper's
+// implementation builds on (Section 5 extends the Approximate DNF
+// Counting Suite of Meel, Shrotri and Vardi [24]; Appendix E spells out
+// the correspondence): a database synopsis is exactly a Block DNF
+// formula — a positive DNF whose variables are partitioned into blocks
+// X_1,...,X_m, evaluated only over assignments that set exactly one
+// variable per block true. Facts are variables, homomorphic images are
+// clauses, and the fraction of satisfying block assignments is R(H, B).
+//
+// The package provides the Block DNF type, a lossless bridge to and from
+// admissible pairs (so every approximation scheme in internal/cqa doubles
+// as a DNF counter), classic DNF formulas with negative literals encoded
+// as two-variable blocks, exact counting by enumeration and by
+// inclusion–exclusion, and approximate counting via the shared samplers
+// and estimators.
+package dnf
+
+import (
+	"errors"
+	"fmt"
+	"math/big"
+
+	"cqabench/internal/estimator"
+	"cqabench/internal/mt"
+	"cqabench/internal/sampler"
+	"cqabench/internal/synopsis"
+)
+
+// Literal asserts that block Block's variable Var is the one set true.
+type Literal struct {
+	Block int32
+	Var   int32
+}
+
+// Clause is a conjunction of literals (at most one per block; two
+// literals on the same block make the clause unsatisfiable and are
+// rejected by Validate).
+type Clause []Literal
+
+// Formula is a Block DNF formula: the disjunction of its clauses over
+// block-partitioned variables.
+type Formula struct {
+	BlockSizes []int32
+	Clauses    []Clause
+}
+
+// Validate checks structural sanity: positive block sizes, literals in
+// range, at most one literal per block per clause, and at least one
+// clause with at least one literal each.
+func (f *Formula) Validate() error {
+	if len(f.Clauses) == 0 {
+		return errors.New("dnf: formula has no clauses")
+	}
+	for b, sz := range f.BlockSizes {
+		if sz < 1 {
+			return fmt.Errorf("dnf: block %d has size %d", b, sz)
+		}
+	}
+	for ci, c := range f.Clauses {
+		if len(c) == 0 {
+			return fmt.Errorf("dnf: clause %d is empty", ci)
+		}
+		seen := make(map[int32]bool, len(c))
+		for _, l := range c {
+			if int(l.Block) >= len(f.BlockSizes) || l.Block < 0 {
+				return fmt.Errorf("dnf: clause %d references unknown block %d", ci, l.Block)
+			}
+			if l.Var < 0 || l.Var >= f.BlockSizes[l.Block] {
+				return fmt.Errorf("dnf: clause %d literal out of range for block %d", ci, l.Block)
+			}
+			if seen[l.Block] {
+				return fmt.Errorf("dnf: clause %d has two literals on block %d", ci, l.Block)
+			}
+			seen[l.Block] = true
+		}
+	}
+	return nil
+}
+
+// NumAssignments returns the number of block assignments: the product of
+// block sizes.
+func (f *Formula) NumAssignments() *big.Int {
+	n := big.NewInt(1)
+	for _, sz := range f.BlockSizes {
+		n.Mul(n, big.NewInt(int64(sz)))
+	}
+	return n
+}
+
+// ToAdmissible converts the formula into an admissible pair, dropping
+// blocks no clause touches (they contribute equally to the numerator and
+// denominator of the satisfying fraction, so the fraction is unchanged).
+func (f *Formula) ToAdmissible() (*synopsis.Admissible, error) {
+	if err := f.Validate(); err != nil {
+		return nil, err
+	}
+	touched := make([]bool, len(f.BlockSizes))
+	for _, c := range f.Clauses {
+		for _, l := range c {
+			touched[l.Block] = true
+		}
+	}
+	remap := make([]int32, len(f.BlockSizes))
+	pair := &synopsis.Admissible{}
+	for b, ok := range touched {
+		if ok {
+			remap[b] = int32(len(pair.BlockSizes))
+			pair.BlockSizes = append(pair.BlockSizes, f.BlockSizes[b])
+		}
+	}
+	for _, c := range f.Clauses {
+		img := make(synopsis.Image, len(c))
+		for i, l := range c {
+			img[i] = synopsis.Member{Block: remap[l.Block], Fact: l.Var}
+		}
+		pair.Images = append(pair.Images, img)
+	}
+	pair.Canonicalize()
+	if err := pair.Validate(); err != nil {
+		return nil, err
+	}
+	return pair, nil
+}
+
+// FromAdmissible converts an admissible pair into its Block DNF formula
+// (the inverse direction of the Appendix E correspondence).
+func FromAdmissible(pair *synopsis.Admissible) (*Formula, error) {
+	if err := pair.Validate(); err != nil {
+		return nil, err
+	}
+	f := &Formula{BlockSizes: append([]int32(nil), pair.BlockSizes...)}
+	for _, img := range pair.Images {
+		c := make(Clause, len(img))
+		for i, m := range img {
+			c[i] = Literal{Block: m.Block, Var: m.Fact}
+		}
+		f.Clauses = append(f.Clauses, c)
+	}
+	return f, nil
+}
+
+// ExactFraction computes the fraction of satisfying block assignments by
+// inclusion–exclusion; maxClauses bounds the clause count (0 = 22).
+func (f *Formula) ExactFraction(maxClauses int) (float64, error) {
+	pair, err := f.ToAdmissible()
+	if err != nil {
+		return 0, err
+	}
+	return pair.ExactRatio(maxClauses)
+}
+
+// BruteForceFraction enumerates all block assignments (bounded by limit;
+// 0 = 1<<20) and counts the satisfying ones.
+func (f *Formula) BruteForceFraction(limit int64) (float64, error) {
+	pair, err := f.ToAdmissible()
+	if err != nil {
+		return 0, err
+	}
+	// The dropped untouched blocks do not change the fraction.
+	return pair.BruteForceRatio(limit)
+}
+
+// Method selects an approximate counting strategy, mirroring the CQA
+// schemes (Section 4 applied back to the DNF setting it came from).
+type Method int
+
+const (
+	// MethodNatural samples assignments uniformly.
+	MethodNatural Method = iota
+	// MethodKL uses the Karp–Luby symbolic-space sampler.
+	MethodKL
+	// MethodKLM uses the Karp–Luby–Madras sampler.
+	MethodKLM
+	// MethodCover uses the self-adjusting coverage algorithm.
+	MethodCover
+)
+
+// String names the method.
+func (m Method) String() string {
+	switch m {
+	case MethodNatural:
+		return "Natural"
+	case MethodKL:
+		return "KL"
+	case MethodKLM:
+		return "KLM"
+	case MethodCover:
+		return "Cover"
+	default:
+		return fmt.Sprintf("Method(%d)", int(m))
+	}
+}
+
+// ApproxFraction estimates the satisfying fraction with relative error
+// eps and confidence 1-delta.
+func (f *Formula) ApproxFraction(m Method, eps, delta float64, seed uint64) (float64, error) {
+	pair, err := f.ToAdmissible()
+	if err != nil {
+		return 0, err
+	}
+	src := mt.New(seed)
+	switch m {
+	case MethodNatural:
+		r, err := estimator.MonteCarlo(sampler.NewNatural(pair), eps, delta, src, estimator.Budget{})
+		return clamp01(r.Estimate), err
+	case MethodKL:
+		s := sampler.NewKL(pair)
+		r, err := estimator.MonteCarlo(s, eps, delta, src, estimator.Budget{})
+		return clamp01(r.Estimate * s.Weight()), err
+	case MethodKLM:
+		s := sampler.NewKLM(pair)
+		r, err := estimator.MonteCarlo(s, eps, delta, src, estimator.Budget{})
+		return clamp01(r.Estimate * s.Weight()), err
+	case MethodCover:
+		r, err := estimator.SelfAdjustingCoverage(sampler.NewSymbolic(pair), eps, delta, src, estimator.Budget{})
+		return clamp01(r.Estimate), err
+	default:
+		return 0, fmt.Errorf("dnf: unknown method %v", m)
+	}
+}
+
+// ApproxCount estimates the number of satisfying block assignments as a
+// float (it can exceed float64 integer precision but tracks the magnitude;
+// use ApproxFraction with NumAssignments for exact big-number work).
+func (f *Formula) ApproxCount(m Method, eps, delta float64, seed uint64) (*big.Float, error) {
+	frac, err := f.ApproxFraction(m, eps, delta, seed)
+	if err != nil {
+		return nil, err
+	}
+	total := new(big.Float).SetInt(f.NumAssignments())
+	return total.Mul(total, big.NewFloat(frac)), nil
+}
+
+func clamp01(x float64) float64 {
+	if x < 0 {
+		return 0
+	}
+	if x > 1 {
+		return 1
+	}
+	return x
+}

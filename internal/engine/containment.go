@@ -1,0 +1,80 @@
+package engine
+
+import (
+	"fmt"
+
+	"cqabench/internal/cq"
+	"cqabench/internal/relation"
+)
+
+// Contained decides classic CQ containment q1 ⊆ q2 (every answer of q1
+// over every database is an answer of q2) by the Chandra–Merlin canonical
+// database argument: freeze q1's variables into fresh constants, evaluate
+// q2 over the frozen body, and check that the frozen head of q1 is among
+// the answers. Keys are irrelevant to containment; the canonical database
+// is built over a keyless copy of the schema so freezing can never be
+// blocked by key violations.
+//
+// dict must be the dictionary both queries' constants were interned in
+// (the database Dict the queries were parsed against). The frozen
+// constants use a NUL-prefixed namespace that user strings cannot
+// collide with.
+func Contained(schema *relation.Schema, dict *relation.Dict, q1, q2 *cq.Query) (bool, error) {
+	if err := q1.Validate(schema); err != nil {
+		return false, fmt.Errorf("engine: q1: %w", err)
+	}
+	if err := q2.Validate(schema); err != nil {
+		return false, fmt.Errorf("engine: q2: %w", err)
+	}
+	if len(q1.Out) != len(q2.Out) {
+		return false, fmt.Errorf("engine: output arity mismatch: %d vs %d", len(q1.Out), len(q2.Out))
+	}
+
+	// Keyless copy of the schema: same relations, no constraints.
+	rels := make([]relation.RelDef, len(schema.Rels))
+	for i, r := range schema.Rels {
+		rels[i] = relation.RelDef{Name: r.Name, Attrs: r.Attrs, KeyLen: 0}
+	}
+	free, err := relation.NewSchema(rels, nil)
+	if err != nil {
+		return false, err
+	}
+
+	// Canonical database over the shared dictionary: one fact per atom of
+	// q1, variables frozen into fresh constants.
+	canon := relation.NewDatabase(free)
+	canon.Dict = dict
+	frozen := make([]relation.Value, q1.NumVars)
+	for v := range frozen {
+		frozen[v] = dict.String(fmt.Sprintf("\x00frozen-%d", v))
+	}
+	for _, a := range q1.Atoms {
+		t := make(relation.Tuple, len(a.Args))
+		for i, term := range a.Args {
+			if term.IsVar {
+				t[i] = frozen[term.Var]
+			} else {
+				t[i] = term.Const
+			}
+		}
+		if _, err := canon.InsertTuple(a.Rel, t); err != nil {
+			return false, err
+		}
+	}
+
+	head := make(relation.Tuple, len(q1.Out))
+	for i, v := range q1.Out {
+		head[i] = frozen[v]
+	}
+	return NewEvaluator(canon).HasAnswer(q2, head)
+}
+
+// Equivalent reports whether two CQs are semantically equivalent
+// (contained in both directions).
+func Equivalent(schema *relation.Schema, dict *relation.Dict, q1, q2 *cq.Query) (bool, error) {
+	a, err := Contained(schema, dict, q1, q2)
+	if err != nil || !a {
+		return false, err
+	}
+	return Contained(schema, dict, q2, q1)
+}

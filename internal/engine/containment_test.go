@@ -1,0 +1,114 @@
+package engine
+
+import (
+	"testing"
+
+	"cqabench/internal/cq"
+	"cqabench/internal/relation"
+)
+
+func containmentSchema() *relation.Schema {
+	return relation.MustSchema([]relation.RelDef{
+		{Name: "E", Attrs: []string{"src", "dst"}, KeyLen: 1},
+		{Name: "L", Attrs: []string{"node", "color"}, KeyLen: 1},
+	}, nil)
+}
+
+func TestContainedBasic(t *testing.T) {
+	s := containmentSchema()
+	d := relation.NewDict()
+	// A path of length 2 is contained in "some edge exists".
+	path2 := cq.MustParse("Q() :- E(x, y), E(y, z)", d)
+	edge := cq.MustParse("Q() :- E(u, v)", d)
+	ok, err := Contained(s, d, path2, edge)
+	if err != nil || !ok {
+		t.Fatalf("path2 ⊆ edge: %v, %v", ok, err)
+	}
+	// The converse fails: an edge need not extend to a path.
+	ok, err = Contained(s, d, edge, path2)
+	if err != nil || ok {
+		t.Fatalf("edge ⊆ path2 should be false: %v, %v", ok, err)
+	}
+}
+
+func TestContainedWithConstants(t *testing.T) {
+	s := containmentSchema()
+	d := relation.NewDict()
+	red := cq.MustParse("Q(x) :- L(x, 'red')", d)
+	any := cq.MustParse("Q(x) :- L(x, c)", d)
+	ok, err := Contained(s, d, red, any)
+	if err != nil || !ok {
+		t.Fatalf("red ⊆ any: %v, %v", ok, err)
+	}
+	ok, err = Contained(s, d, any, red)
+	if err != nil || ok {
+		t.Fatalf("any ⊆ red should fail: %v, %v", ok, err)
+	}
+	// Different constants are incomparable.
+	blue := cq.MustParse("Q(x) :- L(x, 'blue')", d)
+	ok, err = Contained(s, d, red, blue)
+	if err != nil || ok {
+		t.Fatalf("red ⊆ blue should fail: %v, %v", ok, err)
+	}
+}
+
+func TestContainedRespectsHead(t *testing.T) {
+	s := containmentSchema()
+	d := relation.NewDict()
+	src := cq.MustParse("Q(x) :- E(x, y)", d)
+	dst := cq.MustParse("Q(y) :- E(x, y)", d)
+	ok, err := Contained(s, d, src, dst)
+	if err != nil || ok {
+		t.Fatalf("projections over different positions should not be contained: %v, %v", ok, err)
+	}
+}
+
+func TestEquivalent(t *testing.T) {
+	s := containmentSchema()
+	d := relation.NewDict()
+	// Redundant atom: E(x,y) ∧ E(x,y2) is equivalent to E(x,y) when only
+	// x is projected.
+	q1 := cq.MustParse("Q(x) :- E(x, y)", d)
+	q2 := cq.MustParse("Q(x) :- E(x, y), E(x, y2)", d)
+	ok, err := Equivalent(s, d, q1, q2)
+	if err != nil || !ok {
+		t.Fatalf("redundant-atom equivalence: %v, %v", ok, err)
+	}
+	q3 := cq.MustParse("Q(x) :- E(x, y), E(y, z)", d)
+	ok, err = Equivalent(s, d, q1, q3)
+	if err != nil || ok {
+		t.Fatalf("path queries should not be equivalent: %v, %v", ok, err)
+	}
+}
+
+func TestContainedErrors(t *testing.T) {
+	s := containmentSchema()
+	d := relation.NewDict()
+	good := cq.MustParse("Q(x) :- E(x, y)", d)
+	bad := cq.MustParse("Q(x) :- Nope(x)", d)
+	if _, err := Contained(s, d, bad, good); err == nil {
+		t.Fatal("invalid q1 accepted")
+	}
+	if _, err := Contained(s, d, good, bad); err == nil {
+		t.Fatal("invalid q2 accepted")
+	}
+	boolean := cq.MustParse("Q() :- E(x, y)", d)
+	if _, err := Contained(s, d, good, boolean); err == nil {
+		t.Fatal("arity mismatch accepted")
+	}
+}
+
+func TestContainmentReflexive(t *testing.T) {
+	s := containmentSchema()
+	d := relation.NewDict()
+	for _, text := range []string{
+		"Q() :- E(x, y), E(y, x)",
+		"Q(x, z) :- E(x, y), E(y, z), L(x, 'red')",
+	} {
+		q := cq.MustParse(text, d)
+		ok, err := Contained(s, d, q, q)
+		if err != nil || !ok {
+			t.Fatalf("%s not contained in itself: %v, %v", text, ok, err)
+		}
+	}
+}

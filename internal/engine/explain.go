@@ -1,0 +1,63 @@
+package engine
+
+import (
+	"fmt"
+	"strings"
+
+	"cqabench/internal/cq"
+)
+
+// PlanStep describes one step of the evaluator's join plan.
+type PlanStep struct {
+	// Atom is the index of the body atom processed at this step.
+	Atom int
+	// Rel is the atom's relation name.
+	Rel string
+	// BoundPositions are the argument positions bound (by constants or
+	// earlier steps) when the atom is probed; empty means a full scan.
+	BoundPositions []int
+	// TableRows is the relation's cardinality.
+	TableRows int
+}
+
+// Access describes how the step retrieves candidates.
+func (s PlanStep) Access() string {
+	if len(s.BoundPositions) == 0 {
+		return "scan"
+	}
+	return fmt.Sprintf("index%v", s.BoundPositions)
+}
+
+// Explain returns the evaluator's join plan for a query: the greedy atom
+// order and, per step, the binding pattern used to probe the hash index.
+// It mirrors exactly what EnumerateHomomorphisms will do.
+func (e *Evaluator) Explain(q *cq.Query) ([]PlanStep, error) {
+	if err := q.Validate(e.db.Schema); err != nil {
+		return nil, err
+	}
+	pl := e.makePlan(q)
+	steps := make([]PlanStep, len(pl.order))
+	for i, ai := range pl.order {
+		rel := q.Atoms[ai].Rel
+		steps[i] = PlanStep{
+			Atom:           ai,
+			Rel:            rel,
+			BoundPositions: append([]int(nil), pl.bound[i]...),
+			TableRows:      len(e.db.Tables[e.db.Schema.RelIndex(rel)].Tuples),
+		}
+	}
+	return steps, nil
+}
+
+// ExplainString renders the plan for humans.
+func (e *Evaluator) ExplainString(q *cq.Query) (string, error) {
+	steps, err := e.Explain(q)
+	if err != nil {
+		return "", err
+	}
+	var b strings.Builder
+	for i, s := range steps {
+		fmt.Fprintf(&b, "%d. %s (%d rows) via %s\n", i+1, s.Rel, s.TableRows, s.Access())
+	}
+	return b.String(), nil
+}

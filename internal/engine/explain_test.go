@@ -1,0 +1,95 @@
+package engine
+
+import (
+	"strings"
+	"testing"
+
+	"cqabench/internal/cq"
+	"cqabench/internal/relation"
+)
+
+func TestExplainPlanShape(t *testing.T) {
+	db := smallDB(t)
+	e := NewEvaluator(db)
+	q := cq.MustParse("Q(a, y) :- R(a, b), S(b, y)", db.Dict)
+	steps, err := e.Explain(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(steps) != 2 {
+		t.Fatalf("steps = %d", len(steps))
+	}
+	// First step has no bound positions (scan); second probes on the
+	// shared variable's position.
+	if len(steps[0].BoundPositions) != 0 {
+		t.Fatalf("first step should scan, got %v", steps[0].BoundPositions)
+	}
+	if len(steps[1].BoundPositions) != 1 {
+		t.Fatalf("second step should probe one position, got %v", steps[1].BoundPositions)
+	}
+	if steps[0].Access() != "scan" || !strings.HasPrefix(steps[1].Access(), "index") {
+		t.Fatalf("access = %q / %q", steps[0].Access(), steps[1].Access())
+	}
+}
+
+func TestExplainPrefersConstants(t *testing.T) {
+	db := smallDB(t)
+	e := NewEvaluator(db)
+	// The S atom has a constant: it must be processed first with a bound
+	// position even though it appears second in the body.
+	q := cq.MustParse("Q(a) :- R(a, b), S(b, 100)", db.Dict)
+	steps, err := e.Explain(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if steps[0].Rel != "S" {
+		t.Fatalf("constant atom not ordered first: %+v", steps)
+	}
+	if len(steps[0].BoundPositions) != 1 || steps[0].BoundPositions[0] != 1 {
+		t.Fatalf("bound positions = %v", steps[0].BoundPositions)
+	}
+}
+
+func TestExplainString(t *testing.T) {
+	db := smallDB(t)
+	e := NewEvaluator(db)
+	q := cq.MustParse("Q() :- R(a, b), S(b, y)", db.Dict)
+	s, err := e.ExplainString(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(s, "1. ") || !strings.Contains(s, "2. ") {
+		t.Fatalf("explain string:\n%s", s)
+	}
+}
+
+func TestExplainInvalid(t *testing.T) {
+	db := relation.NewDatabase(twoRelSchema())
+	e := NewEvaluator(db)
+	q := cq.MustParse("Q(x) :- Nope(x)", db.Dict)
+	if _, err := e.Explain(q); err == nil {
+		t.Fatal("invalid query accepted")
+	}
+}
+
+// The plan must agree with actual evaluation: same atom count and every
+// atom covered exactly once.
+func TestExplainCoversAllAtoms(t *testing.T) {
+	db := smallDB(t)
+	e := NewEvaluator(db)
+	q := cq.MustParse("Q() :- R(a, b), S(b, y), R(c, 10)", db.Dict)
+	steps, err := e.Explain(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[int]bool{}
+	for _, s := range steps {
+		if seen[s.Atom] {
+			t.Fatal("atom planned twice")
+		}
+		seen[s.Atom] = true
+	}
+	if len(seen) != len(q.Atoms) {
+		t.Fatalf("planned %d of %d atoms", len(seen), len(q.Atoms))
+	}
+}

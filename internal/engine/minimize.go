@@ -1,0 +1,102 @@
+package engine
+
+import (
+	"cqabench/internal/cq"
+	"cqabench/internal/relation"
+)
+
+// Minimize computes an equivalent subquery of q with a minimal set of
+// atoms (the core, up to variable renaming): it greedily drops atoms whose
+// removal keeps the query equivalent, re-checking with the Chandra–Merlin
+// containment test. Removing an atom can only weaken a CQ (more answers),
+// so equivalence reduces to checking that the weakened query is still
+// contained in the original.
+//
+// The query generators use it to detect redundant generated bodies; it is
+// also generally useful to callers assembling queries programmatically.
+func Minimize(schema *relation.Schema, dict *relation.Dict, q *cq.Query) (*cq.Query, error) {
+	if err := q.Validate(schema); err != nil {
+		return nil, err
+	}
+	cur := q
+	for {
+		removed := false
+		for i := range cur.Atoms {
+			cand, ok := dropAtom(cur, i)
+			if !ok {
+				continue
+			}
+			// cur ⊆ cand always holds (fewer atoms). cand ⊆ cur makes the
+			// removal equivalence-preserving.
+			contained, err := Contained(schema, dict, cand, cur)
+			if err != nil {
+				return nil, err
+			}
+			if contained {
+				cur = cand
+				removed = true
+				break
+			}
+		}
+		if !removed {
+			return cur, nil
+		}
+	}
+}
+
+// dropAtom returns q without atom i, with variables renumbered densely.
+// It reports false when the removal would orphan an answer variable or
+// leave the body empty.
+func dropAtom(q *cq.Query, i int) (*cq.Query, bool) {
+	if len(q.Atoms) <= 1 {
+		return nil, false
+	}
+	atoms := make([]cq.Atom, 0, len(q.Atoms)-1)
+	for j, a := range q.Atoms {
+		if j != i {
+			// Copy args so renumbering cannot alias the original.
+			args := append([]cq.Term(nil), a.Args...)
+			atoms = append(atoms, cq.Atom{Rel: a.Rel, Args: args})
+		}
+	}
+	// Check answer variables still occur.
+	occurs := map[int]bool{}
+	for _, a := range atoms {
+		for _, t := range a.Args {
+			if t.IsVar {
+				occurs[t.Var] = true
+			}
+		}
+	}
+	for _, v := range q.Out {
+		if !occurs[v] {
+			return nil, false
+		}
+	}
+	// Renumber densely, preserving display names.
+	remap := map[int]int{}
+	var names []string
+	for ai := range atoms {
+		for ti, t := range atoms[ai].Args {
+			if !t.IsVar {
+				continue
+			}
+			id, ok := remap[t.Var]
+			if !ok {
+				id = len(remap)
+				remap[t.Var] = id
+				name := ""
+				if t.Var < len(q.VarNames) {
+					name = q.VarNames[t.Var]
+				}
+				names = append(names, name)
+			}
+			atoms[ai].Args[ti] = cq.V(id)
+		}
+	}
+	out := make([]int, len(q.Out))
+	for k, v := range q.Out {
+		out[k] = remap[v]
+	}
+	return &cq.Query{Atoms: atoms, Out: out, NumVars: len(remap), VarNames: names}, true
+}

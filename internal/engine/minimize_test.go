@@ -1,0 +1,116 @@
+package engine
+
+import (
+	"testing"
+
+	"cqabench/internal/cq"
+	"cqabench/internal/relation"
+)
+
+func TestMinimizeRedundantAtom(t *testing.T) {
+	s := containmentSchema()
+	d := relation.NewDict()
+	// E(x,y) ∧ E(x,y2) with only x projected: one atom suffices.
+	q := cq.MustParse("Q(x) :- E(x, y), E(x, y2)", d)
+	m, err := Minimize(s, d, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Atoms) != 1 {
+		t.Fatalf("minimized to %d atoms: %s", len(m.Atoms), m)
+	}
+	ok, err := Equivalent(s, d, q, m)
+	if err != nil || !ok {
+		t.Fatalf("minimized query not equivalent: %v, %v", ok, err)
+	}
+	if err := m.Validate(s); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMinimizeKeepsCore(t *testing.T) {
+	s := containmentSchema()
+	d := relation.NewDict()
+	// A genuine path of length 2 with both endpoints projected: nothing
+	// removable.
+	q := cq.MustParse("Q(x, z) :- E(x, y), E(y, z)", d)
+	m, err := Minimize(s, d, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Atoms) != 2 {
+		t.Fatalf("core destroyed: %s", m)
+	}
+}
+
+func TestMinimizeBooleanFold(t *testing.T) {
+	s := containmentSchema()
+	d := relation.NewDict()
+	// Boolean: E(x,y) ∧ E(u,v) — two disconnected copies of the same
+	// pattern fold into one.
+	q := cq.MustParse("Q() :- E(x, y), E(u, v)", d)
+	m, err := Minimize(s, d, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Atoms) != 1 {
+		t.Fatalf("duplicate pattern not folded: %s", m)
+	}
+}
+
+func TestMinimizeRespectsConstants(t *testing.T) {
+	s := containmentSchema()
+	d := relation.NewDict()
+	// The 'red' atom constrains; the unconstrained L atom is redundant.
+	q := cq.MustParse("Q(x) :- L(x, 'red'), L(x, c)", d)
+	m, err := Minimize(s, d, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Atoms) != 1 {
+		t.Fatalf("minimize failed: %s", m)
+	}
+	if m.NumConstants() != 1 {
+		t.Fatalf("kept the wrong atom: %s", m)
+	}
+}
+
+func TestMinimizeProtectsAnswerVariables(t *testing.T) {
+	s := containmentSchema()
+	d := relation.NewDict()
+	// y is projected: the second atom is the only one binding it via L, so
+	// it cannot be dropped even though the E atom subsumes nothing.
+	q := cq.MustParse("Q(x, c) :- E(x, y), L(x, c)", d)
+	m, err := Minimize(s, d, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// E(x,y) is droppable only if Q(x,c) :- L(x,c) ⊆ Q; it is (choose y
+	// via... no: dropping E loses nothing only if every L-answer extends
+	// to an E-edge, which is false). So both atoms stay.
+	if len(m.Atoms) != 2 {
+		t.Fatalf("unsound removal: %s", m)
+	}
+}
+
+func TestMinimizeSingleAtomUntouched(t *testing.T) {
+	s := containmentSchema()
+	d := relation.NewDict()
+	q := cq.MustParse("Q(x) :- E(x, y)", d)
+	m, err := Minimize(s, d, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Atoms) != 1 {
+		t.Fatal("single atom query changed")
+	}
+}
+
+func TestMinimizeInvalidQuery(t *testing.T) {
+	s := containmentSchema()
+	d := relation.NewDict()
+	q := cq.MustParse("Q(x) :- Nope(x)", d)
+	if _, err := Minimize(s, d, q); err == nil {
+		t.Fatal("invalid query accepted")
+	}
+}

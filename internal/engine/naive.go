@@ -1,0 +1,69 @@
+package engine
+
+import (
+	"sort"
+
+	"cqabench/internal/cq"
+	"cqabench/internal/relation"
+)
+
+// NaiveHomomorphisms enumerates all homomorphisms by exhaustive nested
+// iteration over every combination of facts, one per atom. It is the
+// executable form of the homomorphism definition in Section 2 and exists
+// as a ground-truth oracle for tests; it makes no use of indexes or
+// ordering and is exponential in the number of atoms.
+func NaiveHomomorphisms(db *relation.Database, q *cq.Query) ([][]relation.Value, error) {
+	if err := q.Validate(db.Schema); err != nil {
+		return nil, err
+	}
+	var out [][]relation.Value
+	assign := make([]relation.Value, q.NumVars)
+	assigned := make([]bool, q.NumVars)
+	var rec func(ai int)
+	rec = func(ai int) {
+		if ai == len(q.Atoms) {
+			out = append(out, append([]relation.Value(nil), assign...))
+			return
+		}
+		atom := q.Atoms[ai]
+		ri := db.Schema.RelIndex(atom.Rel)
+		for _, tuple := range db.Tables[ri].Tuples {
+			var bound []int
+			ok := true
+			for i, t := range atom.Args {
+				if !t.IsVar {
+					if tuple[i] != t.Const {
+						ok = false
+						break
+					}
+					continue
+				}
+				if assigned[t.Var] {
+					if assign[t.Var] != tuple[i] {
+						ok = false
+						break
+					}
+					continue
+				}
+				assigned[t.Var] = true
+				assign[t.Var] = tuple[i]
+				bound = append(bound, t.Var)
+			}
+			if ok {
+				rec(ai + 1)
+			}
+			for _, v := range bound {
+				assigned[v] = false
+			}
+		}
+	}
+	rec(0)
+	sortAssignments(out)
+	return out, nil
+}
+
+func sortAssignments(xs [][]relation.Value) {
+	sort.Slice(xs, func(i, j int) bool {
+		return relation.Tuple(xs[i]).Less(relation.Tuple(xs[j]))
+	})
+}

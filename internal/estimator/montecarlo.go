@@ -1,0 +1,187 @@
+// Package estimator implements the estimation layer the approximation
+// schemes share (Section 4.2–4.3):
+//
+//   - MonteCarlo: the optimal Monte Carlo estimator of Dagum, Karp, Luby
+//     and Ross [8] (their 𝒜𝒜 algorithm), which the paper calls
+//     MonteCarlo[Sample] with OptEstimate[Sample] choosing the number of
+//     iterations; the two are fused here, exactly as in [8].
+//   - FixedSamples: a non-adaptive baseline that sizes the sample count
+//     from a worst-case lower bound on the mean via the zero-one estimator
+//     theorem; used by the ablation benchmarks.
+//   - SelfAdjustingCoverage: Algorithm 6, the Karp–Luby–Madras
+//     self-adjusting coverage algorithm [15] over the symbolic space.
+//
+// Every entry point accepts a Budget so the harness can impose the paper's
+// per-scenario timeouts.
+package estimator
+
+import (
+	"errors"
+	"math"
+	"time"
+
+	"cqabench/internal/mt"
+)
+
+// Sampler produces one random draw in [0, 1]. All samplers in
+// internal/sampler implement it.
+type Sampler interface {
+	Sample(src *mt.Source) float64
+}
+
+// Budget bounds an estimation run. Zero values mean "unlimited".
+type Budget struct {
+	MaxSamples int64
+	Deadline   time.Time
+}
+
+// ErrBudget is wrapped by errors returned when a budget is exhausted.
+var ErrBudget = errors.New("estimator: budget exhausted")
+
+// Result reports an estimate together with the work performed.
+type Result struct {
+	Estimate float64
+	Samples  int64 // total draws performed
+	// Phases breaks Samples down for the 𝒜𝒜 algorithm: stopping rule,
+	// variance estimation, final run. Zero for other estimators.
+	Phases [3]int64
+}
+
+// budgetTracker meters samples against a budget, checking the wall clock
+// only every deadlineStride draws.
+type budgetTracker struct {
+	budget  Budget
+	samples int64
+}
+
+const deadlineStride = 8192
+
+func (b *budgetTracker) charge(n int64) error {
+	prev := b.samples
+	b.samples += n
+	if b.budget.MaxSamples > 0 && b.samples > b.budget.MaxSamples {
+		return ErrBudget
+	}
+	if !b.budget.Deadline.IsZero() && prev/deadlineStride != b.samples/deadlineStride {
+		if time.Now().After(b.budget.Deadline) {
+			return ErrBudget
+		}
+	}
+	return nil
+}
+
+const e2 = math.E - 2 // the (e-2) constant of [8]
+
+// upsilon returns Υ = 4(e−2)·ln(2/δ)/ε², the core sample-complexity
+// constant of [8].
+func upsilon(eps, delta float64) float64 {
+	return 4 * e2 * math.Log(2/delta) / (eps * eps)
+}
+
+// StoppingRule implements the Stopping Rule Algorithm of [8]: it draws
+// samples until their running sum reaches Υ1 = 1 + (1+ε)Υ and returns
+// Υ1/N, an (ε, δ)-approximation of the mean provided the mean is positive.
+func StoppingRule(s Sampler, eps, delta float64, src *mt.Source, budget Budget) (Result, error) {
+	bt := &budgetTracker{budget: budget}
+	upsilon1 := 1 + (1+eps)*upsilon(eps, delta)
+	sum := 0.0
+	var n int64
+	for sum < upsilon1 {
+		if err := bt.charge(1); err != nil {
+			return Result{Samples: bt.samples}, err
+		}
+		sum += s.Sample(src)
+		n++
+	}
+	return Result{Estimate: upsilon1 / float64(n), Samples: bt.samples}, nil
+}
+
+// MonteCarlo implements the 𝒜𝒜 algorithm of [8]: an optimal
+// (ε, δ)-approximation of E[Sample] for samplers with range [0, 1] and
+// positive mean. It is the paper's MonteCarlo[Sample] with the optimal
+// estimator OptEstimate[Sample] computing the number of iterations: the
+// expected sample count is within a constant factor of any correct
+// estimator's (proportional to the ratio of the sampler's variance-like
+// parameter to its squared mean).
+func MonteCarlo(s Sampler, eps, delta float64, src *mt.Source, budget Budget) (Result, error) {
+	if eps <= 0 || eps >= 1 || delta <= 0 || delta >= 1 {
+		return Result{}, errors.New("estimator: require 0 < eps < 1 and 0 < delta < 1")
+	}
+	bt := &budgetTracker{budget: budget}
+
+	// Step 1: rough estimate via the stopping rule at accuracy
+	// min(1/2, √ε) and confidence δ/3.
+	eps1 := math.Min(0.5, math.Sqrt(eps))
+	sub := budget
+	r1, err := StoppingRule(s, eps1, delta/3, src, sub)
+	bt.samples = r1.Samples
+	if err != nil {
+		return Result{Samples: bt.samples}, err
+	}
+	muHat := r1.Estimate
+
+	phase1 := bt.samples
+
+	// Step 2: estimate the variance parameter ρ = max(Var, ε·μ).
+	ups := upsilon(eps, delta/3)
+	ups2 := 2 * (1 + math.Sqrt(eps)) * (1 + 2*math.Sqrt(eps)) *
+		(1 + math.Log(1.5)/math.Log(2/(delta/3))) * ups
+	n2 := int64(math.Ceil(ups2 * eps / muHat))
+	if n2 < 1 {
+		n2 = 1
+	}
+	var sq float64
+	for i := int64(0); i < n2; i++ {
+		if err := bt.charge(2); err != nil {
+			return Result{Samples: bt.samples}, err
+		}
+		a := s.Sample(src)
+		b := s.Sample(src)
+		d := a - b
+		sq += d * d / 2
+	}
+	rhoHat := math.Max(sq/float64(n2), eps*muHat)
+	phase2 := bt.samples - phase1
+
+	// Step 3: final run sized by ρ̂/μ̂².
+	n3 := int64(math.Ceil(ups2 * rhoHat / (muHat * muHat)))
+	if n3 < 1 {
+		n3 = 1
+	}
+	var sum float64
+	for i := int64(0); i < n3; i++ {
+		if err := bt.charge(1); err != nil {
+			return Result{Samples: bt.samples}, err
+		}
+		sum += s.Sample(src)
+	}
+	return Result{
+		Estimate: sum / float64(n3),
+		Samples:  bt.samples,
+		Phases:   [3]int64{phase1, phase2, bt.samples - phase1 - phase2},
+	}, nil
+}
+
+// FixedSamples estimates E[Sample] with a sample count fixed up front from
+// a lower bound on the mean: N = ⌈Υ/meanLB⌉, the generalized zero-one
+// estimator theorem bound of [8] with the worst-case variance ρ ≤ μ.
+// It is correct whenever E[Sample] ≥ meanLB but typically draws far more
+// samples than MonteCarlo; the ablation benchmarks quantify the gap.
+func FixedSamples(s Sampler, eps, delta, meanLB float64, src *mt.Source, budget Budget) (Result, error) {
+	if meanLB <= 0 {
+		return Result{}, errors.New("estimator: FixedSamples requires a positive mean lower bound")
+	}
+	bt := &budgetTracker{budget: budget}
+	n := int64(math.Ceil(upsilon(eps, delta) / meanLB))
+	if n < 1 {
+		n = 1
+	}
+	var sum float64
+	for i := int64(0); i < n; i++ {
+		if err := bt.charge(1); err != nil {
+			return Result{Samples: bt.samples}, err
+		}
+		sum += s.Sample(src)
+	}
+	return Result{Estimate: sum / float64(n), Samples: bt.samples}, nil
+}

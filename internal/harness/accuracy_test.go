@@ -1,0 +1,69 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"cqabench/internal/cqa"
+)
+
+func TestAccuracyAudit(t *testing.T) {
+	l := testLab(t)
+	w, err := l.BalanceScenario(0.4, 1, []float64{0.5, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := fastConfig()
+	cfg.Timeout = 10 * time.Second
+	rep, err := Accuracy(w, cfg, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Schemes) != 4 {
+		t.Fatalf("schemes = %d", len(rep.Schemes))
+	}
+	for _, s := range rep.Schemes {
+		if s.Tuples == 0 {
+			t.Fatalf("%v: nothing audited", s.Scheme)
+		}
+		// The guarantee is >= 1-delta; empirically the estimators do far
+		// better, but allow slack for the audit's small sample.
+		if s.SuccessRate() < 1-cfg.Opts.Delta-0.15 {
+			t.Fatalf("%v: within-eps rate %.2f violates guarantee band", s.Scheme, s.SuccessRate())
+		}
+		if s.MeanRelErr > s.MaxRelErr {
+			t.Fatalf("%v: mean > max", s.Scheme)
+		}
+	}
+	tbl := rep.Table()
+	for _, want := range []string{"Accuracy audit", "Natural", "within-eps"} {
+		if !strings.Contains(tbl, want) {
+			t.Fatalf("table missing %q:\n%s", want, tbl)
+		}
+	}
+}
+
+func TestAccuracyEmptyWorkload(t *testing.T) {
+	l := testLab(t)
+	w, err := l.BalanceScenario(0.4, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Accuracy(w, fastConfig(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range rep.Schemes {
+		if s.Tuples != 0 || s.SuccessRate() != 1 {
+			t.Fatalf("empty workload produced audits: %+v", s)
+		}
+	}
+}
+
+func TestSchemeAccuracySuccessRate(t *testing.T) {
+	s := SchemeAccuracy{Scheme: cqa.KL, Tuples: 10, WithinEps: 9}
+	if s.SuccessRate() != 0.9 {
+		t.Fatalf("rate = %v", s.SuccessRate())
+	}
+}

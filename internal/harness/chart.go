@@ -1,0 +1,120 @@
+package harness
+
+import (
+	"cqabench/internal/cqa"
+
+	"fmt"
+	"math"
+	"strings"
+	"time"
+)
+
+// Chart renders the figure as an ASCII line chart — the terminal analogue
+// of the paper's plots — with one symbol per scheme, a log-scaled y axis
+// (runtimes span orders of magnitude between schemes), and the x axis over
+// the figure's levels. Width and height are in character cells; sensible
+// minimums are enforced.
+func (f *Figure) Chart(width, height int) string {
+	if width < 30 {
+		width = 30
+	}
+	if height < 8 {
+		height = 8
+	}
+	levels := f.Levels()
+	if len(levels) == 0 || len(f.Series) == 0 {
+		return "(no data)\n"
+	}
+
+	symbolOf := func(s cqa.Scheme) byte {
+		switch s {
+		case cqa.Natural:
+			return 'N'
+		case cqa.KL:
+			return 'K'
+		case cqa.KLM:
+			return 'M'
+		case cqa.Cover:
+			return 'C'
+		default:
+			return '*'
+		}
+	}
+	// y range over all means, log scale.
+	minY, maxY := math.Inf(1), math.Inf(-1)
+	for _, s := range f.Series {
+		for _, p := range s.Points {
+			v := float64(p.Mean)
+			if v <= 0 {
+				continue
+			}
+			minY = math.Min(minY, v)
+			maxY = math.Max(maxY, v)
+		}
+	}
+	if math.IsInf(minY, 1) {
+		return "(no data)\n"
+	}
+	logMin, logMax := math.Log10(minY), math.Log10(maxY)
+	if logMax-logMin < 0.1 {
+		logMax = logMin + 0.1
+	}
+
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", width))
+	}
+	xOf := func(level float64) int {
+		lo, hi := levels[0], levels[len(levels)-1]
+		if hi == lo {
+			return width / 2
+		}
+		return int((level - lo) / (hi - lo) * float64(width-1))
+	}
+	yOf := func(d time.Duration) int {
+		v := math.Log10(float64(d))
+		row := int((logMax - v) / (logMax - logMin) * float64(height-1))
+		if row < 0 {
+			row = 0
+		}
+		if row >= height {
+			row = height - 1
+		}
+		return row
+	}
+	for _, s := range f.Series {
+		sym := symbolOf(s.Scheme)
+		for _, p := range s.Points {
+			if p.Mean <= 0 {
+				continue
+			}
+			grid[yOf(p.Mean)][xOf(p.Level)] = sym
+		}
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s  (log time; ", f.Title)
+	for si, s := range f.Series {
+		if si > 0 {
+			b.WriteString(", ")
+		}
+		fmt.Fprintf(&b, "%c=%s", symbolOf(s.Scheme), s.Scheme)
+	}
+	b.WriteString(")\n")
+	topLabel := formatDuration(time.Duration(math.Pow(10, logMax)))
+	botLabel := formatDuration(time.Duration(math.Pow(10, logMin)))
+	for r := range grid {
+		label := strings.Repeat(" ", 9)
+		if r == 0 {
+			label = fmt.Sprintf("%9s", topLabel)
+		}
+		if r == height-1 {
+			label = fmt.Sprintf("%9s", botLabel)
+		}
+		fmt.Fprintf(&b, "%s |%s\n", label, string(grid[r]))
+	}
+	fmt.Fprintf(&b, "%s +%s\n", strings.Repeat(" ", 9), strings.Repeat("-", width))
+	fmt.Fprintf(&b, "%s  %-10.4g%*s\n", strings.Repeat(" ", 9), levels[0], width-11, fmt.Sprintf("%.4g", levels[len(levels)-1]))
+	fmt.Fprintf(&b, "%s  %s\n", strings.Repeat(" ", 9), f.XLabel)
+	return b.String()
+}

@@ -1,0 +1,105 @@
+package harness
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+
+	"cqabench/internal/cqa"
+)
+
+func syntheticFigure() *Figure {
+	return &Figure{
+		Title:  "Noise[0.0, 1]",
+		XLabel: "Noise (%)",
+		Series: []Series{
+			{Scheme: cqa.Natural, Points: []Point{
+				{Level: 20, Mean: 2 * time.Millisecond, Count: 1},
+				{Level: 60, Mean: 3 * time.Millisecond, Count: 1},
+			}},
+			{Scheme: cqa.KL, Points: []Point{
+				{Level: 20, Mean: 2 * time.Second, Count: 1},
+				{Level: 60, Mean: 4 * time.Second, Count: 1},
+			}},
+		},
+	}
+}
+
+func TestChartRenders(t *testing.T) {
+	fig := syntheticFigure()
+	chart := fig.Chart(40, 10)
+	for _, want := range []string{"Noise[0.0, 1]", "N=Natural", "K=KL", "Noise (%)", "|", "+"} {
+		if !strings.Contains(chart, want) {
+			t.Fatalf("chart missing %q:\n%s", want, chart)
+		}
+	}
+	// Natural (ms) must appear below KL (s) on the log axis: find rows.
+	lines := strings.Split(chart, "\n")
+	rowOf := func(sym byte) int {
+		for i, l := range lines {
+			if idx := strings.IndexByte(l, '|'); idx >= 0 && strings.IndexByte(l[idx:], sym) > 0 {
+				return i
+			}
+		}
+		return -1
+	}
+	if n, k := rowOf('N'), rowOf('K'); n <= k {
+		t.Fatalf("Natural row %d should be below KL row %d:\n%s", n, k, chart)
+	}
+}
+
+func TestChartMinimumDimensions(t *testing.T) {
+	fig := syntheticFigure()
+	chart := fig.Chart(1, 1) // clamped to minimums
+	if len(strings.Split(chart, "\n")) < 8 {
+		t.Fatalf("chart too small:\n%s", chart)
+	}
+}
+
+func TestChartEmpty(t *testing.T) {
+	fig := &Figure{Title: "empty"}
+	if got := fig.Chart(40, 10); !strings.Contains(got, "no data") {
+		t.Fatalf("empty chart = %q", got)
+	}
+	zero := &Figure{Title: "zeros", Series: []Series{{Scheme: cqa.KL, Points: []Point{{Level: 1, Mean: 0}}}}}
+	if got := zero.Chart(40, 10); !strings.Contains(got, "no data") {
+		t.Fatalf("zero chart = %q", got)
+	}
+}
+
+func TestChartSingleLevel(t *testing.T) {
+	fig := &Figure{
+		Title:  "one",
+		XLabel: "x",
+		Series: []Series{{Scheme: cqa.Cover, Points: []Point{{Level: 5, Mean: time.Millisecond}}}},
+	}
+	chart := fig.Chart(40, 10)
+	if !strings.Contains(chart, "C=Cover") {
+		t.Fatalf("chart:\n%s", chart)
+	}
+}
+
+func TestWriteJSON(t *testing.T) {
+	fig := syntheticFigure()
+	fig.Balances = []float64{0.5}
+	var b strings.Builder
+	if err := fig.WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	var decoded map[string]any
+	if err := json.Unmarshal([]byte(b.String()), &decoded); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, b.String())
+	}
+	if decoded["title"] != "Noise[0.0, 1]" {
+		t.Fatalf("title = %v", decoded["title"])
+	}
+	series, ok := decoded["series"].([]any)
+	if !ok || len(series) != 2 {
+		t.Fatalf("series = %v", decoded["series"])
+	}
+	first := series[0].(map[string]any)
+	if first["scheme"] != "Natural" {
+		t.Fatalf("scheme = %v", first["scheme"])
+	}
+}

@@ -1,0 +1,391 @@
+// Package harness runs the approximation schemes over test scenarios and
+// aggregates the paper's figures: per-scheme mean running time against the
+// varied parameter (noise, balance), per-scheme share of running time
+// against the join count, the preprocessing-time distribution, and the
+// validation series. Timeouts are imposed per scheme invocation, like the
+// paper's per-scenario 1-hour cap, and reported as counts next to the
+// affected points, like the integer annotations in Figures 1–2.
+package harness
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+	"time"
+
+	"cqabench/internal/cqa"
+	"cqabench/internal/estimator"
+	"cqabench/internal/scenario"
+	"cqabench/internal/synopsis"
+)
+
+// Config controls a harness run.
+type Config struct {
+	// Opts carries ε, δ and the seed (paper: ε = 0.1, δ = 0.25).
+	Opts cqa.Options
+	// Timeout bounds each (pair, scheme) run; 0 means none.
+	Timeout time.Duration
+	// Schemes selects which schemes to run (default: all four).
+	Schemes []cqa.Scheme
+}
+
+// DefaultConfig mirrors the paper's experimental setting with a short
+// timeout suitable for scaled-down scenarios.
+func DefaultConfig() Config {
+	return Config{
+		Opts:    cqa.DefaultOptions(),
+		Timeout: 10 * time.Second,
+		Schemes: cqa.Schemes,
+	}
+}
+
+// Measurement records one scheme run over one pair.
+type Measurement struct {
+	Pair     string
+	Scheme   cqa.Scheme
+	Level    float64 // the x-axis value of the scenario family
+	Elapsed  time.Duration
+	Prep     time.Duration
+	Samples  int64
+	Tuples   int
+	TimedOut bool
+}
+
+// Point aggregates the measurements of one scheme at one level.
+type Point struct {
+	Level    float64
+	Mean     time.Duration // mean over the level's pairs; timeouts count at the timeout value
+	Timeouts int
+	Count    int
+}
+
+// Series is one scheme's curve.
+type Series struct {
+	Scheme cqa.Scheme
+	Points []Point
+}
+
+// Figure is the data behind one plot.
+type Figure struct {
+	Title     string
+	XLabel    string
+	Series    []Series
+	PrepTimes []time.Duration
+	// Balances records the achieved balance per pair (validation figures
+	// report its average and standard deviation in their captions).
+	Balances []float64
+	Raw      []Measurement
+}
+
+// Run measures every configured scheme on every pair of the workload,
+// using level(pair) as the x-axis value. The synopsis of each pair is
+// computed once and shared across schemes, as in Section 5.
+func Run(w *scenario.Workload, cfg Config, level func(scenario.Pair) float64) (*Figure, error) {
+	schemes := cfg.Schemes
+	if len(schemes) == 0 {
+		schemes = cqa.Schemes
+	}
+	fig := &Figure{Title: w.Name, XLabel: "level"}
+	perScheme := make(map[cqa.Scheme]map[float64][]Measurement)
+	for _, s := range schemes {
+		perScheme[s] = make(map[float64][]Measurement)
+	}
+	for _, pair := range w.Pairs {
+		prepStart := time.Now()
+		set, err := synopsis.Build(pair.DB, pair.Query)
+		if err != nil {
+			return nil, fmt.Errorf("harness: %s: %w", pair.Name, err)
+		}
+		prep := time.Since(prepStart)
+		fig.PrepTimes = append(fig.PrepTimes, prep)
+		fig.Balances = append(fig.Balances, pair.Balance)
+		lv := level(pair)
+		for _, s := range schemes {
+			opts := cfg.Opts
+			if cfg.Timeout > 0 {
+				opts.Budget.Deadline = time.Now().Add(cfg.Timeout)
+			}
+			start := time.Now()
+			_, stats, err := cqa.ApxAnswersFromSet(set, s, opts)
+			elapsed := time.Since(start)
+			m := Measurement{
+				Pair:    pair.Name,
+				Scheme:  s,
+				Level:   lv,
+				Elapsed: elapsed,
+				Prep:    prep,
+				Samples: stats.Samples,
+				Tuples:  stats.NumTuples,
+			}
+			if err != nil {
+				if !errors.Is(err, estimator.ErrBudget) {
+					return nil, fmt.Errorf("harness: %s %v: %w", pair.Name, s, err)
+				}
+				m.TimedOut = true
+				m.Elapsed = cfg.Timeout
+			}
+			fig.Raw = append(fig.Raw, m)
+			perScheme[s][lv] = append(perScheme[s][lv], m)
+		}
+	}
+	for _, s := range schemes {
+		var levels []float64
+		for lv := range perScheme[s] {
+			levels = append(levels, lv)
+		}
+		sort.Float64s(levels)
+		series := Series{Scheme: s}
+		for _, lv := range levels {
+			ms := perScheme[s][lv]
+			var sum time.Duration
+			timeouts := 0
+			for _, m := range ms {
+				sum += m.Elapsed
+				if m.TimedOut {
+					timeouts++
+				}
+			}
+			series.Points = append(series.Points, Point{
+				Level:    lv,
+				Mean:     sum / time.Duration(len(ms)),
+				Timeouts: timeouts,
+				Count:    len(ms),
+			})
+		}
+		fig.Series = append(fig.Series, series)
+	}
+	return fig, nil
+}
+
+// RunNoise produces a Noise[balance, joins] figure: x-axis = noise %.
+func RunNoise(w *scenario.Workload, cfg Config) (*Figure, error) {
+	fig, err := Run(w, cfg, func(p scenario.Pair) float64 { return p.Noise * 100 })
+	if err == nil {
+		fig.XLabel = "Noise (%)"
+	}
+	return fig, err
+}
+
+// RunBalance produces a Balance[noise, joins] figure: x-axis = target
+// balance %.
+func RunBalance(w *scenario.Workload, cfg Config) (*Figure, error) {
+	fig, err := Run(w, cfg, func(p scenario.Pair) float64 { return p.Target * 100 })
+	if err == nil {
+		fig.XLabel = "Balance (%)"
+	}
+	return fig, err
+}
+
+// RunJoins produces a Joins[noise, balance] figure: x-axis = join count.
+func RunJoins(w *scenario.Workload, cfg Config) (*Figure, error) {
+	fig, err := Run(w, cfg, func(p scenario.Pair) float64 { return float64(p.Joins) })
+	if err == nil {
+		fig.XLabel = "Joins"
+	}
+	return fig, err
+}
+
+// RunValidation produces a Validation[Q] figure: x-axis = noise %.
+func RunValidation(w *scenario.Workload, cfg Config) (*Figure, error) {
+	return RunNoise(w, cfg)
+}
+
+// BalanceStats returns the average and standard deviation of the achieved
+// balances, as reported in the validation figures' captions.
+func (f *Figure) BalanceStats() (mean, std float64) {
+	if len(f.Balances) == 0 {
+		return 0, 0
+	}
+	for _, b := range f.Balances {
+		mean += b
+	}
+	mean /= float64(len(f.Balances))
+	for _, b := range f.Balances {
+		std += (b - mean) * (b - mean)
+	}
+	std = math.Sqrt(std / float64(len(f.Balances)))
+	return mean, std
+}
+
+// SharesAt returns each scheme's percentage share of the summed mean
+// running time at the given level (the y-axis of the join figures).
+func (f *Figure) SharesAt(level float64) map[cqa.Scheme]float64 {
+	var total time.Duration
+	perScheme := make(map[cqa.Scheme]time.Duration)
+	for _, s := range f.Series {
+		for _, p := range s.Points {
+			if p.Level == level {
+				perScheme[s.Scheme] = p.Mean
+				total += p.Mean
+			}
+		}
+	}
+	out := make(map[cqa.Scheme]float64, len(perScheme))
+	for sch, d := range perScheme {
+		if total > 0 {
+			out[sch] = 100 * float64(d) / float64(total)
+		}
+	}
+	return out
+}
+
+// Levels returns the sorted distinct x-axis levels of the figure.
+func (f *Figure) Levels() []float64 {
+	set := map[float64]bool{}
+	for _, s := range f.Series {
+		for _, p := range s.Points {
+			set[p.Level] = true
+		}
+	}
+	var out []float64
+	for lv := range set {
+		out = append(out, lv)
+	}
+	sort.Float64s(out)
+	return out
+}
+
+// Table renders the figure as an aligned text table: one row per level,
+// one column per scheme, mean runtimes with "(nTO)" annotations marking
+// timed-out pairs — the textual analogue of the paper's plots.
+func (f *Figure) Table() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", f.Title)
+	fmt.Fprintf(&b, "%-12s", f.XLabel)
+	for _, s := range f.Series {
+		fmt.Fprintf(&b, "%16s", s.Scheme)
+	}
+	b.WriteByte('\n')
+	for _, lv := range f.Levels() {
+		fmt.Fprintf(&b, "%-12.4g", lv)
+		for _, s := range f.Series {
+			cell := "-"
+			for _, p := range s.Points {
+				if p.Level == lv {
+					cell = formatDuration(p.Mean)
+					if p.Timeouts > 0 {
+						cell += fmt.Sprintf(" (%dTO)", p.Timeouts)
+					}
+				}
+			}
+			fmt.Fprintf(&b, "%16s", cell)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// ShareTable renders the join-figure view: per level, each scheme's share
+// of the total running time.
+func (f *Figure) ShareTable() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s (share of running time %%)\n", f.Title)
+	fmt.Fprintf(&b, "%-12s", f.XLabel)
+	for _, s := range f.Series {
+		fmt.Fprintf(&b, "%10s", s.Scheme)
+	}
+	b.WriteByte('\n')
+	for _, lv := range f.Levels() {
+		shares := f.SharesAt(lv)
+		fmt.Fprintf(&b, "%-12.4g", lv)
+		for _, s := range f.Series {
+			fmt.Fprintf(&b, "%9.1f%%", shares[s.Scheme])
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// WriteCSV emits the raw measurements, one row per (pair, scheme).
+func (f *Figure) WriteCSV(w io.Writer) error {
+	if _, err := fmt.Fprintln(w, "figure,pair,scheme,level,elapsed_ns,prep_ns,samples,tuples,timed_out"); err != nil {
+		return err
+	}
+	for _, m := range f.Raw {
+		if _, err := fmt.Fprintf(w, "%s,%s,%s,%g,%d,%d,%d,%d,%t\n",
+			csvEscape(f.Title), csvEscape(m.Pair), m.Scheme, m.Level,
+			m.Elapsed.Nanoseconds(), m.Prep.Nanoseconds(), m.Samples,
+			m.Tuples, m.TimedOut); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func csvEscape(s string) string {
+	if strings.ContainsAny(s, ",\"\n") {
+		return `"` + strings.ReplaceAll(s, `"`, `""`) + `"`
+	}
+	return s
+}
+
+func formatDuration(d time.Duration) string {
+	switch {
+	case d >= time.Second:
+		return fmt.Sprintf("%.2fs", d.Seconds())
+	case d >= time.Millisecond:
+		return fmt.Sprintf("%.2fms", float64(d.Microseconds())/1000)
+	default:
+		return fmt.Sprintf("%dµs", d.Microseconds())
+	}
+}
+
+// PrepHistogram buckets preprocessing times (Figure 3): the fraction of
+// pairs whose synopsis construction fell in each bucket of the given
+// width.
+func PrepHistogram(times []time.Duration, bucket time.Duration) []float64 {
+	if len(times) == 0 || bucket <= 0 {
+		return nil
+	}
+	max := time.Duration(0)
+	for _, t := range times {
+		if t > max {
+			max = t
+		}
+	}
+	n := int(max/bucket) + 1
+	hist := make([]float64, n)
+	for _, t := range times {
+		hist[int(t/bucket)]++
+	}
+	for i := range hist {
+		hist[i] /= float64(len(times))
+	}
+	return hist
+}
+
+// Winner returns the scheme with the smallest total mean runtime across
+// all levels — the "best performer" the take-home messages talk about.
+func (f *Figure) Winner() cqa.Scheme {
+	best := f.Series[0].Scheme
+	bestTotal := time.Duration(math.MaxInt64)
+	for _, s := range f.Series {
+		var total time.Duration
+		for _, p := range s.Points {
+			total += p.Mean
+		}
+		if total < bestTotal {
+			bestTotal = total
+			best = s.Scheme
+		}
+	}
+	return best
+}
+
+// TotalMean returns a scheme's summed mean runtime across levels, for
+// ordering comparisons in tests and EXPERIMENTS.md.
+func (f *Figure) TotalMean(s cqa.Scheme) time.Duration {
+	for _, ser := range f.Series {
+		if ser.Scheme == s {
+			var total time.Duration
+			for _, p := range ser.Points {
+				total += p.Mean
+			}
+			return total
+		}
+	}
+	return 0
+}

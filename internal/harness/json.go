@@ -1,0 +1,56 @@
+package harness
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// figureJSON is the stable JSON shape of a figure, meant for external
+// plotting tools (the paper's plots are matplotlib; this is the
+// interchange point).
+type figureJSON struct {
+	Title     string       `json:"title"`
+	XLabel    string       `json:"x_label"`
+	Series    []seriesJSON `json:"series"`
+	PrepNanos []int64      `json:"prep_ns,omitempty"`
+	Balances  []float64    `json:"balances,omitempty"`
+}
+
+type seriesJSON struct {
+	Scheme string      `json:"scheme"`
+	Points []pointJSON `json:"points"`
+}
+
+type pointJSON struct {
+	Level    float64 `json:"level"`
+	MeanNano int64   `json:"mean_ns"`
+	Timeouts int     `json:"timeouts"`
+	Count    int     `json:"count"`
+}
+
+// WriteJSON emits the aggregated figure (series of per-level means with
+// timeout counts, preprocessing times, achieved balances) as indented
+// JSON. Raw per-pair measurements are the CSV's job; this is the plotted
+// shape.
+func (f *Figure) WriteJSON(w io.Writer) error {
+	out := figureJSON{Title: f.Title, XLabel: f.XLabel}
+	for _, s := range f.Series {
+		sj := seriesJSON{Scheme: s.Scheme.String()}
+		for _, p := range s.Points {
+			sj.Points = append(sj.Points, pointJSON{
+				Level:    p.Level,
+				MeanNano: p.Mean.Nanoseconds(),
+				Timeouts: p.Timeouts,
+				Count:    p.Count,
+			})
+		}
+		out.Series = append(out.Series, sj)
+	}
+	for _, p := range f.PrepTimes {
+		out.PrepNanos = append(out.PrepNanos, p.Nanoseconds())
+	}
+	out.Balances = f.Balances
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}

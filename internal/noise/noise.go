@@ -1,0 +1,178 @@
+// Package noise implements the paper's query-aware noise generator for
+// primary keys (Section 6.1). Given a consistent database D, a query Q
+// with Q(D) ≠ ∅, a noise percentage p and a block-size range [ℓ, u], it
+// injects inconsistency that is guaranteed to affect the query:
+//
+//	Step 1: compute syn_{Σ,Q}(D) and collect H, the facts of D that can
+//	        affect the query result.
+//	Step 2: per relation R with a key, randomly select ⌈p · |H_R|⌉ of the
+//	        R-facts in H.
+//	Step 3: for each selected fact, grow its block to a uniform size
+//	        s ∈ [ℓ, u] by adding s−1 conflicting facts whose non-key
+//	        values are copied from other facts of R (different key), so
+//	        the injected facts preserve the join patterns of the data —
+//	        including joins over multi-attribute foreign keys.
+package noise
+
+import (
+	"fmt"
+
+	"cqabench/internal/cq"
+	"cqabench/internal/mt"
+	"cqabench/internal/relation"
+	"cqabench/internal/synopsis"
+)
+
+// Config parameterizes noise injection.
+type Config struct {
+	// P is the fraction (0, 1] of query-relevant facts per relation whose
+	// blocks get corrupted.
+	P float64
+	// MinBlock and MaxBlock bound the size of generated non-singleton
+	// blocks; the paper's experiments use [2, 5].
+	MinBlock, MaxBlock int
+	// Seed fixes the random stream.
+	Seed uint64
+}
+
+// DefaultConfig mirrors the paper's setting (block sizes [2, 5]).
+func DefaultConfig(p float64) Config {
+	return Config{P: p, MinBlock: 2, MaxBlock: 5, Seed: mt.DefaultSeed}
+}
+
+// Stats reports what the generator did.
+type Stats struct {
+	// SelectedFacts counts the query-relevant facts whose blocks were
+	// corrupted, per relation name.
+	SelectedFacts map[string]int
+	// AddedFacts is the total number of injected facts.
+	AddedFacts int
+	// RelevantFacts is |H|: the query-relevant facts found by Step 1.
+	RelevantFacts int
+}
+
+func (c Config) validate() error {
+	if c.P <= 0 || c.P > 1 {
+		return fmt.Errorf("noise: P must be in (0, 1], got %v", c.P)
+	}
+	if c.MinBlock < 2 {
+		return fmt.Errorf("noise: MinBlock must be >= 2 (a non-singleton block), got %d", c.MinBlock)
+	}
+	if c.MaxBlock < c.MinBlock {
+		return fmt.Errorf("noise: MaxBlock %d < MinBlock %d", c.MaxBlock, c.MinBlock)
+	}
+	return nil
+}
+
+// Apply returns a new database D* = D plus injected conflicting facts.
+// D must be consistent and Q(D) non-empty, as in the paper. D itself is
+// not modified.
+func Apply(db *relation.Database, q *cq.Query, cfg Config) (*relation.Database, Stats, error) {
+	var stats Stats
+	if err := cfg.validate(); err != nil {
+		return nil, stats, err
+	}
+	if !relation.IsConsistentDB(db) {
+		return nil, stats, fmt.Errorf("noise: input database is already inconsistent")
+	}
+
+	// Step 1: the query-relevant facts H.
+	set, err := synopsis.Build(db, q)
+	if err != nil {
+		return nil, stats, err
+	}
+	relevant := set.ImageFacts()
+	if len(relevant) == 0 {
+		return nil, stats, fmt.Errorf("noise: Q(D) is empty; the noise generator requires a non-empty query result")
+	}
+	stats.RelevantFacts = len(relevant)
+	stats.SelectedFacts = make(map[string]int)
+
+	src := mt.New(cfg.Seed)
+	out := db.Clone()
+
+	// Group H by relation, keeping only keyed relations (keyless facts
+	// can never conflict).
+	byRel := make(map[int32][]relation.FactRef)
+	for _, f := range relevant {
+		if db.Schema.Rels[f.Rel].KeyLen > 0 {
+			byRel[f.Rel] = append(byRel[f.Rel], f)
+		}
+	}
+
+	// Iterate relations in schema order for determinism.
+	for ri := range db.Schema.Rels {
+		facts := byRel[int32(ri)]
+		if len(facts) == 0 {
+			continue
+		}
+		def := &db.Schema.Rels[ri]
+		// Step 2: select ⌈p·|H_R|⌉ facts uniformly at random.
+		m := int(cfg.P*float64(len(facts)) + 0.999999)
+		if m > len(facts) {
+			m = len(facts)
+		}
+		src.Shuffle(len(facts), func(i, j int) { facts[i], facts[j] = facts[j], facts[i] })
+		selected := facts[:m]
+		stats.SelectedFacts[def.Name] = m
+
+		table := db.Tables[ri]
+		for _, f := range selected {
+			base := db.Fact(f)
+			// Step 3: grow the block to size s ∈ [ℓ, u].
+			s := cfg.MinBlock + src.Intn(cfg.MaxBlock-cfg.MinBlock+1)
+			added := 0
+			attempts := 0
+			for added < s-1 && attempts < (s-1)*20 {
+				attempts++
+				donor := donorTuple(table, def.KeyLen, base, src)
+				if donor == nil {
+					break // single-key relation: no join-preserving donor
+				}
+				nt := make(relation.Tuple, len(base))
+				copy(nt, base[:def.KeyLen])
+				copy(nt[def.KeyLen:], donor[def.KeyLen:])
+				fresh, err := out.InsertTuple(def.Name, nt)
+				if err != nil {
+					return nil, stats, err
+				}
+				if fresh {
+					added++
+					stats.AddedFacts++
+				}
+			}
+		}
+	}
+	return out, stats, nil
+}
+
+// donorTuple picks a random fact of the same relation with a different key
+// value, whose non-key part will be grafted onto the corrupted key so the
+// injected fact joins like real data. Returns nil when no such fact exists
+// (single-key-value relation).
+func donorTuple(table *relation.Table, keyLen int, base relation.Tuple, src *mt.Source) relation.Tuple {
+	n := len(table.Tuples)
+	for attempt := 0; attempt < 50; attempt++ {
+		cand := table.Tuples[src.Intn(n)]
+		if !sameKey(cand, base, keyLen) {
+			return cand
+		}
+	}
+	// Fall back to a linear scan before giving up: the random probes can
+	// miss when almost all tuples share the base key.
+	for _, cand := range table.Tuples {
+		if !sameKey(cand, base, keyLen) {
+			return cand
+		}
+	}
+	return nil
+}
+
+func sameKey(a, b relation.Tuple, keyLen int) bool {
+	for i := 0; i < keyLen; i++ {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,245 @@
+package noise
+
+import (
+	"strings"
+	"testing"
+
+	"cqabench/internal/cq"
+	"cqabench/internal/relation"
+	"cqabench/internal/synopsis"
+	"cqabench/internal/tpch"
+)
+
+func consistentDB(t *testing.T) *relation.Database {
+	t.Helper()
+	s := relation.MustSchema([]relation.RelDef{
+		{Name: "R", Attrs: []string{"k", "a", "b"}, KeyLen: 1},
+		{Name: "S", Attrs: []string{"k", "c"}, KeyLen: 1},
+	}, nil)
+	db := relation.NewDatabase(s)
+	for i := 0; i < 20; i++ {
+		db.MustInsert("R", i, i%5, i%3)
+	}
+	for i := 0; i < 5; i++ {
+		db.MustInsert("S", i, i+100)
+	}
+	return db
+}
+
+func TestApplyInjectsConflicts(t *testing.T) {
+	db := consistentDB(t)
+	q := cq.MustParse("Q(a) :- R(k, a, b), S(a, c)", db.Dict)
+	noisy, stats, err := Apply(db, q, DefaultConfig(0.5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if relation.IsConsistentDB(noisy) {
+		t.Fatal("noisy database is still consistent")
+	}
+	if stats.AddedFacts == 0 || stats.RelevantFacts == 0 {
+		t.Fatalf("stats = %+v", stats)
+	}
+	// Original database untouched.
+	if !relation.IsConsistentDB(db) {
+		t.Fatal("Apply mutated its input")
+	}
+	if noisy.NumFacts() != db.NumFacts()+stats.AddedFacts {
+		t.Fatal("fact accounting wrong")
+	}
+}
+
+func TestBlockSizesWithinRange(t *testing.T) {
+	db := consistentDB(t)
+	q := cq.MustParse("Q(a) :- R(k, a, b)", db.Dict)
+	cfg := Config{P: 1, MinBlock: 3, MaxBlock: 4, Seed: 11}
+	noisy, _, err := Apply(db, q, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bi := relation.BuildBlocks(noisy)
+	sawNonSingleton := false
+	for _, b := range bi.NonSingletonBlocks() {
+		sawNonSingleton = true
+		if b.Size() < 2 || b.Size() > cfg.MaxBlock {
+			t.Fatalf("block size %d outside [2, %d]", b.Size(), cfg.MaxBlock)
+		}
+	}
+	if !sawNonSingleton {
+		t.Fatal("no non-singleton blocks created at P = 1")
+	}
+}
+
+func TestNoisePercentageScales(t *testing.T) {
+	db := consistentDB(t)
+	q := cq.MustParse("Q(a) :- R(k, a, b)", db.Dict)
+	_, low, err := Apply(db, q, Config{P: 0.2, MinBlock: 2, MaxBlock: 2, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, high, err := Apply(db, q, Config{P: 1, MinBlock: 2, MaxBlock: 2, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if high.AddedFacts <= low.AddedFacts {
+		t.Fatalf("P=1 added %d facts, P=0.2 added %d", high.AddedFacts, low.AddedFacts)
+	}
+	// With MinBlock = MaxBlock = 2, each selected fact adds exactly one
+	// conflicting fact (up to duplicate collisions).
+	if high.SelectedFacts["R"] != 20 {
+		t.Fatalf("selected = %v, want all 20 R-facts", high.SelectedFacts)
+	}
+}
+
+// The defining property of query-aware noise: the injected facts land in
+// the query's synopsis blocks, i.e. noise actually affects the query.
+func TestNoiseIsQueryAware(t *testing.T) {
+	db := consistentDB(t)
+	q := cq.MustParse("Q(a) :- R(k, a, b), S(a, c)", db.Dict)
+	noisy, _, err := Apply(db, q, DefaultConfig(0.6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	set, err := synopsis.Build(noisy, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	multi := 0
+	for _, e := range set.Entries {
+		for _, sz := range e.Pair.BlockSizes {
+			if sz > 1 {
+				multi++
+			}
+		}
+	}
+	if multi == 0 {
+		t.Fatal("no synopsis block of the noisy database is a conflict block: noise missed the query")
+	}
+}
+
+// Join preservation: injected facts copy non-key parts from real facts, so
+// they participate in joins.
+func TestInjectedFactsPreserveJoins(t *testing.T) {
+	db := consistentDB(t)
+	q := cq.MustParse("Q(a) :- R(k, a, b), S(a, c)", db.Dict)
+	noisy, _, err := Apply(db, q, Config{P: 1, MinBlock: 2, MaxBlock: 3, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every injected R-fact's 'a' value must still appear as an S key
+	// (donor values come from real R-facts, whose a-values all do).
+	ri := noisy.Schema.RelIndex("R")
+	si := noisy.Schema.RelIndex("S")
+	sKeys := map[relation.Value]bool{}
+	for _, tt := range noisy.Tables[si].Tuples {
+		sKeys[tt[0]] = true
+	}
+	for _, tt := range noisy.Tables[ri].Tuples {
+		if !sKeys[tt[1]] {
+			t.Fatalf("R-fact with a=%v does not join S", tt[1])
+		}
+	}
+}
+
+func TestApplyErrors(t *testing.T) {
+	db := consistentDB(t)
+	q := cq.MustParse("Q(a) :- R(k, a, b)", db.Dict)
+	cases := []Config{
+		{P: 0, MinBlock: 2, MaxBlock: 5},
+		{P: 1.5, MinBlock: 2, MaxBlock: 5},
+		{P: 0.5, MinBlock: 1, MaxBlock: 5},
+		{P: 0.5, MinBlock: 4, MaxBlock: 3},
+	}
+	for _, cfg := range cases {
+		if _, _, err := Apply(db, q, cfg); err == nil {
+			t.Errorf("config %+v accepted", cfg)
+		}
+	}
+	// Empty query result.
+	qEmpty := cq.MustParse("Q() :- R(999, a, b)", db.Dict)
+	if _, _, err := Apply(db, qEmpty, DefaultConfig(0.5)); err == nil || !strings.Contains(err.Error(), "empty") {
+		t.Errorf("empty-result query accepted: %v", err)
+	}
+	// Already inconsistent input.
+	bad := db.Clone()
+	bad.MustInsert("R", 0, 99, 99)
+	if _, _, err := Apply(bad, q, DefaultConfig(0.5)); err == nil {
+		t.Error("inconsistent input accepted")
+	}
+}
+
+func TestDeterministicForSeed(t *testing.T) {
+	db := consistentDB(t)
+	q := cq.MustParse("Q(a) :- R(k, a, b)", db.Dict)
+	a, _, err := Apply(db, q, Config{P: 0.5, MinBlock: 2, MaxBlock: 5, Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _, err := Apply(db, q, Config{P: 0.5, MinBlock: 2, MaxBlock: 5, Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Fatal("same seed produced different noisy databases")
+	}
+}
+
+func TestOnTPCH(t *testing.T) {
+	db := tpch.MustGenerate(tpch.Config{ScaleFactor: 0.0002, Seed: 1})
+	q := cq.MustParse(
+		"Q(n) :- customer(c, n, a, nk, ph, b, seg, cm), orders(o, c, st, tp, d, pr, cl, sp, ocm)",
+		db.Dict)
+	noisy, stats, err := Apply(db, q, DefaultConfig(0.4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if relation.IsConsistentDB(noisy) {
+		t.Fatal("TPC-H noisy database consistent")
+	}
+	if stats.SelectedFacts["customer"] == 0 && stats.SelectedFacts["orders"] == 0 {
+		t.Fatalf("no query relation corrupted: %+v", stats.SelectedFacts)
+	}
+}
+
+// The paper stresses the donor construction preserves join patterns
+// "especially ... for joins over multi-attribute foreign-keys": corrupting
+// lineitem must keep every (l_partkey, l_suppkey) pair resolvable in
+// partsupp, because donors copy whole non-key suffixes from real facts.
+func TestMultiAttributeFKPreserved(t *testing.T) {
+	db := tpch.MustGenerate(tpch.Config{ScaleFactor: 0.0003, Seed: 2})
+	q := cq.MustParse(
+		"Q() :- lineitem(o, l, pk, sk, qy, ep, di, tx, rf, ls, sd, cd, rd, si, sm, cm), partsupp(pk, sk, aq, sc, pc)",
+		db.Dict)
+	noisy, _, err := Apply(db, q, DefaultConfig(0.6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	li := noisy.Schema.RelIndex("lineitem")
+	ps := noisy.Schema.RelIndex("partsupp")
+	pairs := map[[2]relation.Value]bool{}
+	for _, tt := range noisy.Tables[ps].Tuples {
+		pairs[[2]relation.Value{tt[0], tt[1]}] = true
+	}
+	for _, tt := range noisy.Tables[li].Tuples {
+		if !pairs[[2]relation.Value{tt[2], tt[3]}] {
+			t.Fatalf("lineitem (partkey=%v, suppkey=%v) has no partsupp row after noise",
+				tt[2], tt[3])
+		}
+	}
+}
+
+// Different seeds must explore different noise placements.
+func TestNoiseSeedVariation(t *testing.T) {
+	db := consistentDB(t)
+	q := cq.MustParse("Q(a) :- R(k, a, b)", db.Dict)
+	a, _, err := Apply(db, q, Config{P: 0.3, MinBlock: 2, MaxBlock: 4, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _, err := Apply(db, q, Config{P: 0.3, MinBlock: 2, MaxBlock: 4, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.String() == b.String() {
+		t.Fatal("different seeds produced identical noise")
+	}
+}

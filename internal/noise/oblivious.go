@@ -1,0 +1,76 @@
+package noise
+
+import (
+	"fmt"
+
+	"cqabench/internal/mt"
+	"cqabench/internal/relation"
+)
+
+// ApplyOblivious injects primary-key noise the way the query-oblivious
+// tools the paper surveys (BART, NADEEF, …) do: it corrupts facts chosen
+// uniformly from the whole database, with no knowledge of any query.
+// Section 6.1 argues this is inadequate for CQA benchmarking — "it is
+// likely that we will not affect the evaluation of the query" since
+// queries touch a small portion of a large database — and this
+// implementation exists to let the benchmark demonstrate exactly that
+// (see TestObliviousNoiseMissesQuery and the EXPERIMENTS.md note).
+//
+// P is interpreted against all facts of keyed relations; block sizes and
+// the join-preserving donor construction work as in Apply.
+func ApplyOblivious(db *relation.Database, cfg Config) (*relation.Database, Stats, error) {
+	var stats Stats
+	if err := cfg.validate(); err != nil {
+		return nil, stats, err
+	}
+	if !relation.IsConsistentDB(db) {
+		return nil, stats, fmt.Errorf("noise: input database is already inconsistent")
+	}
+	stats.SelectedFacts = make(map[string]int)
+	src := mt.New(cfg.Seed)
+	out := db.Clone()
+
+	for ri := range db.Schema.Rels {
+		def := &db.Schema.Rels[ri]
+		if def.KeyLen == 0 {
+			continue
+		}
+		table := db.Tables[ri]
+		n := len(table.Tuples)
+		if n == 0 {
+			continue
+		}
+		stats.RelevantFacts += n
+		m := int(cfg.P*float64(n) + 0.999999)
+		if m > n {
+			m = n
+		}
+		perm := src.Perm(n)
+		stats.SelectedFacts[def.Name] = m
+		for _, row := range perm[:m] {
+			base := table.Tuples[row]
+			s := cfg.MinBlock + src.Intn(cfg.MaxBlock-cfg.MinBlock+1)
+			added := 0
+			attempts := 0
+			for added < s-1 && attempts < (s-1)*20 {
+				attempts++
+				donor := donorTuple(table, def.KeyLen, base, src)
+				if donor == nil {
+					break
+				}
+				nt := make(relation.Tuple, len(base))
+				copy(nt, base[:def.KeyLen])
+				copy(nt[def.KeyLen:], donor[def.KeyLen:])
+				fresh, err := out.InsertTuple(def.Name, nt)
+				if err != nil {
+					return nil, stats, err
+				}
+				if fresh {
+					added++
+					stats.AddedFacts++
+				}
+			}
+		}
+	}
+	return out, stats, nil
+}

@@ -1,0 +1,166 @@
+package qgen
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"time"
+
+	"cqabench/internal/cq"
+	"cqabench/internal/engine"
+	"cqabench/internal/mt"
+	"cqabench/internal/relation"
+)
+
+// DQGConfig parameterizes the dynamic query generator. The paper bounds
+// the pool search by wall-clock hours (the t parameter of Section 6.1);
+// Iterations bounds it by candidate projections, which is deterministic,
+// and TimeBudget optionally adds the paper's wall-clock bound — whichever
+// ends first stops the search.
+type DQGConfig struct {
+	Iterations int
+	Seed       uint64
+	// TimeBudget, when positive, stops the pool search after this much
+	// wall-clock time even if Iterations remain.
+	TimeBudget time.Duration
+}
+
+// DQGResult pairs a generated query with the balance it achieves.
+type DQGResult struct {
+	Query   *cq.Query
+	Balance float64
+	Target  float64
+}
+
+// DQG generates, for each target balance, the projection of q (same body,
+// different answer variables) whose balance w.r.t. db is closest to the
+// target, by sampling random projections (Section 6.1).
+//
+// The search evaluates the query body exactly once: balance is
+// |syn_{Σ,Q}(D)| / |∪H_i|, and for a fixed body only the numerator — the
+// number of distinct projections of the consistent homomorphisms — depends
+// on the choice of answer variables. The paper's 12-hour-per-query pool
+// search reduces to a grouping pass per candidate.
+func DQG(db *relation.Database, q *cq.Query, targets []float64, cfg DQGConfig) ([]DQGResult, error) {
+	if len(targets) == 0 {
+		return nil, fmt.Errorf("qgen: DQG needs at least one target balance")
+	}
+	for _, b := range targets {
+		if b < 0 || b > 1 {
+			return nil, fmt.Errorf("qgen: target balance %v outside [0, 1]", b)
+		}
+	}
+	iters := cfg.Iterations
+	if iters <= 0 {
+		iters = 200
+	}
+
+	// Evaluate the body once: keep the variable assignment of every
+	// consistent homomorphism and count distinct images.
+	bi := relation.BuildBlocks(db)
+	ev := engine.NewEvaluator(db)
+	body := q.Boolean() // all variables free for projection
+	var assigns [][]relation.Value
+	images := make(map[string]bool)
+	err := ev.EnumerateHomomorphisms(body, func(h *engine.Homomorphism) error {
+		if !bi.SatisfiesKeys(h.Image) {
+			return nil
+		}
+		assigns = append(assigns, append([]relation.Value(nil), h.Assign...))
+		images[factsKey(h.Image)] = true
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	if len(images) == 0 {
+		return nil, fmt.Errorf("qgen: query has no consistent homomorphisms over the database")
+	}
+	homSize := float64(len(images))
+
+	balanceOf := func(vars []int) float64 {
+		if len(vars) == 0 {
+			return 1 / homSize
+		}
+		distinct := make(map[string]bool, len(assigns))
+		var b strings.Builder
+		for _, a := range assigns {
+			b.Reset()
+			for _, v := range vars {
+				fmt.Fprintf(&b, "%d|", int64(a[v]))
+			}
+			distinct[b.String()] = true
+		}
+		return float64(len(distinct)) / homSize
+	}
+
+	src := mt.New(cfg.Seed)
+	vars := body.Vars()
+	var deadline time.Time
+	if cfg.TimeBudget > 0 {
+		deadline = time.Now().Add(cfg.TimeBudget)
+	}
+
+	type cand struct {
+		vars    []int
+		balance float64
+	}
+	// Seed the pool with the extremes: Boolean (minimal balance) and the
+	// full projection (maximal balance).
+	pool := []cand{
+		{nil, balanceOf(nil)},
+		{append([]int(nil), vars...), balanceOf(vars)},
+	}
+	seen := map[string]bool{varsKey(nil): true, varsKey(vars): true}
+	for i := 0; i < iters; i++ {
+		if !deadline.IsZero() && i%16 == 0 && time.Now().After(deadline) {
+			break
+		}
+		var subset []int
+		for _, v := range vars {
+			if src.Intn(2) == 0 {
+				subset = append(subset, v)
+			}
+		}
+		sort.Ints(subset)
+		k := varsKey(subset)
+		if seen[k] {
+			continue
+		}
+		seen[k] = true
+		pool = append(pool, cand{subset, balanceOf(subset)})
+	}
+
+	out := make([]DQGResult, len(targets))
+	for i, target := range targets {
+		best := 0
+		for j := 1; j < len(pool); j++ {
+			if math.Abs(pool[j].balance-target) < math.Abs(pool[best].balance-target) {
+				best = j
+			}
+		}
+		out[i] = DQGResult{
+			Query:   q.WithOutput(pool[best].vars),
+			Balance: pool[best].balance,
+			Target:  target,
+		}
+	}
+	return out, nil
+}
+
+func varsKey(vars []int) string {
+	var b strings.Builder
+	for _, v := range vars {
+		fmt.Fprintf(&b, "%d,", v)
+	}
+	return b.String()
+}
+
+func factsKey(facts []relation.FactRef) string {
+	var b strings.Builder
+	for _, f := range facts {
+		fmt.Fprintf(&b, "%d:%d,", f.Rel, f.Row)
+	}
+	return b.String()
+}

@@ -1,0 +1,232 @@
+package qgen
+
+import (
+	"math"
+	"testing"
+
+	"cqabench/internal/cq"
+	"cqabench/internal/engine"
+	"cqabench/internal/relation"
+	"cqabench/internal/synopsis"
+	"cqabench/internal/tpch"
+)
+
+func tpchDB(t *testing.T) *relation.Database {
+	t.Helper()
+	return tpch.MustGenerate(tpch.Config{ScaleFactor: 0.0003, Seed: 1})
+}
+
+func TestBuildConstPool(t *testing.T) {
+	db := tpchDB(t)
+	pool := BuildConstPool(db, 16)
+	if len(pool) == 0 {
+		t.Fatal("empty pool")
+	}
+	vals, ok := pool[AttrRef{"region", 1}]
+	if !ok || len(vals) != 5 {
+		t.Fatalf("region names pool = %v", vals)
+	}
+	for _, vs := range pool {
+		if len(vs) > 16 {
+			t.Fatalf("pool entry exceeds cap: %d", len(vs))
+		}
+	}
+}
+
+func TestSQGStaticParameters(t *testing.T) {
+	db := tpchDB(t)
+	pool := BuildConstPool(db, 16)
+	for joins := 0; joins <= 5; joins++ {
+		q, err := SQG(db.Schema, pool, SQGConfig{
+			Joins: joins, Constants: 2, Projection: 1, Seed: uint64(joins + 1),
+		})
+		if err != nil {
+			t.Fatalf("j=%d: %v", joins, err)
+		}
+		if got := q.NumJoins(); got != joins {
+			t.Fatalf("j=%d: NumJoins = %d\n%s", joins, got, q)
+		}
+		if got := q.NumConstants(); got != 2 {
+			t.Fatalf("j=%d: NumConstants = %d", joins, got)
+		}
+		if q.HasSelfJoin() {
+			t.Fatalf("j=%d: generated self-join", joins)
+		}
+		if err := q.Validate(db.Schema); err != nil {
+			t.Fatal(err)
+		}
+		// Projection 1 ⇒ all variables projected.
+		if len(q.Out) != q.NumVars {
+			t.Fatalf("j=%d: projected %d of %d vars at p=1", joins, len(q.Out), q.NumVars)
+		}
+	}
+}
+
+func TestSQGProjectionZero(t *testing.T) {
+	db := tpchDB(t)
+	pool := BuildConstPool(db, 16)
+	q, err := SQG(db.Schema, pool, SQGConfig{Joins: 2, Constants: 0, Projection: 0, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !q.IsBoolean() {
+		t.Fatalf("p=0 should give Boolean query, got %s", q)
+	}
+}
+
+func TestSQGErrors(t *testing.T) {
+	db := tpchDB(t)
+	pool := BuildConstPool(db, 4)
+	if _, err := SQG(db.Schema, pool, SQGConfig{Joins: -1}); err == nil {
+		t.Fatal("negative joins accepted")
+	}
+	if _, err := SQG(db.Schema, pool, SQGConfig{Projection: 2}); err == nil {
+		t.Fatal("projection > 1 accepted")
+	}
+	noFK := relation.MustSchema([]relation.RelDef{
+		{Name: "R", Attrs: []string{"a"}, KeyLen: 1},
+	}, nil)
+	if _, err := SQG(noFK, ConstPool{}, SQGConfig{Joins: 1}); err == nil {
+		t.Fatal("join generation without FK graph accepted")
+	}
+}
+
+func TestSQGDeterministic(t *testing.T) {
+	db := tpchDB(t)
+	pool := BuildConstPool(db, 16)
+	cfg := SQGConfig{Joins: 3, Constants: 2, Projection: 0.5, Seed: 9}
+	a, err := SQG(db.Schema, pool, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := SQG(db.Schema, pool, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Render(db.Dict) != b.Render(db.Dict) {
+		t.Fatal("same seed gave different queries")
+	}
+}
+
+func TestSQGNonEmpty(t *testing.T) {
+	db := tpchDB(t)
+	pool := BuildConstPool(db, 16)
+	q, err := SQGNonEmpty(db, pool, SQGConfig{Joins: 2, Constants: 1, Projection: 1, Seed: 5}, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ok, err := engine.NewEvaluator(db).HasAnswer(q.Boolean(), nil)
+	if err != nil || !ok {
+		t.Fatalf("returned query is empty: %v", err)
+	}
+}
+
+func dqgFixture(t *testing.T) (*relation.Database, *cq.Query) {
+	t.Helper()
+	s := relation.MustSchema([]relation.RelDef{
+		{Name: "R", Attrs: []string{"k", "a", "b"}, KeyLen: 1},
+	}, nil)
+	db := relation.NewDatabase(s)
+	for i := 0; i < 12; i++ {
+		db.MustInsert("R", i, i%4, i%2)
+		db.MustInsert("R", i, (i+1)%4, i%2) // conflicting non-keys: blocks of 2
+	}
+	q := cq.MustParse("Q(k, a, b) :- R(k, a, b)", db.Dict)
+	return db, q
+}
+
+func TestDQGHitsExtremes(t *testing.T) {
+	db, q := dqgFixture(t)
+	res, err := DQG(db, q, []float64{0, 1}, DQGConfig{Iterations: 100, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Target 0: Boolean projection gives the smallest possible balance.
+	if res[0].Balance >= res[1].Balance {
+		t.Fatalf("balance(target 0) = %v >= balance(target 1) = %v", res[0].Balance, res[1].Balance)
+	}
+	// Target 1: projecting the key gives balance 1 (every image its own
+	// answer).
+	if math.Abs(res[1].Balance-1) > 1e-9 {
+		t.Fatalf("best balance for target 1 = %v", res[1].Balance)
+	}
+	// The reported balance must match a fresh synopsis computation.
+	for _, r := range res {
+		set, err := synopsis.Build(db, r.Query)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(set.Balance()-r.Balance) > 1e-9 {
+			t.Fatalf("reported balance %v, synopsis says %v for %s", r.Balance, set.Balance(), r.Query)
+		}
+	}
+}
+
+func TestDQGMonotoneTargets(t *testing.T) {
+	db, q := dqgFixture(t)
+	targets := []float64{0.1, 0.5, 0.9}
+	res, err := DQG(db, q, targets, DQGConfig{Iterations: 150, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range res {
+		if r.Target != targets[i] {
+			t.Fatal("targets out of order")
+		}
+		if r.Balance < 0 || r.Balance > 1 {
+			t.Fatalf("balance %v out of range", r.Balance)
+		}
+	}
+	if res[0].Balance > res[2].Balance {
+		t.Fatalf("balances not trending with targets: %v vs %v", res[0].Balance, res[2].Balance)
+	}
+}
+
+func TestDQGErrors(t *testing.T) {
+	db, q := dqgFixture(t)
+	if _, err := DQG(db, q, nil, DQGConfig{}); err == nil {
+		t.Fatal("no targets accepted")
+	}
+	if _, err := DQG(db, q, []float64{2}, DQGConfig{}); err == nil {
+		t.Fatal("target > 1 accepted")
+	}
+	empty := cq.MustParse("Q() :- R(999, a, b)", db.Dict)
+	if _, err := DQG(db, empty, []float64{0.5}, DQGConfig{}); err == nil {
+		t.Fatal("empty query accepted")
+	}
+}
+
+func TestDQGOnTPCH(t *testing.T) {
+	db := tpchDB(t)
+	pool := BuildConstPool(db, 16)
+	q, err := SQGNonEmpty(db, pool, SQGConfig{Joins: 1, Constants: 1, Projection: 1, Seed: 7}, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := DQG(db, q, []float64{0.3, 0.8}, DQGConfig{Iterations: 60, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range res {
+		if err := r.Query.Validate(db.Schema); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestDQGTimeBudget(t *testing.T) {
+	db, q := dqgFixture(t)
+	// An expired budget still yields the seeded extremes, so every target
+	// gets an answer.
+	res, err := DQG(db, q, []float64{0.5}, DQGConfig{
+		Iterations: 1000000,
+		Seed:       1,
+		TimeBudget: 1, // effectively expired immediately
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 1 || res[0].Query == nil {
+		t.Fatalf("res = %+v", res)
+	}
+}

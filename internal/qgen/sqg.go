@@ -1,0 +1,298 @@
+// Package qgen implements the paper's two query generators:
+//
+//   - SQG, the static query generator (Appendix D): tunes the syntactic
+//     parameters of a CQ — number of joins, number of constant
+//     occurrences, fraction of projected attributes — by drawing join
+//     conditions from the schema's foreign-key graph and constants from
+//     per-attribute pools.
+//   - DQG, the dynamic query generator (Section 6.1): tunes the
+//     database-dependent balance parameter by searching over projections
+//     of a fixed query body.
+package qgen
+
+import (
+	"fmt"
+	"sort"
+
+	"cqabench/internal/cq"
+	"cqabench/internal/engine"
+	"cqabench/internal/mt"
+	"cqabench/internal/relation"
+)
+
+// ConstPool maps attributes (relation, column) to the constants that may
+// appear there: the paper's function f. BuildConstPool derives it from a
+// database, mapping each attribute to the constants occurring in it.
+type ConstPool map[AttrRef][]relation.Value
+
+// AttrRef names one attribute of one relation, 0-based.
+type AttrRef struct {
+	Rel string
+	Col int
+}
+
+// BuildConstPool collects, for every attribute, up to maxPerAttr distinct
+// constants occurring in the database at that attribute (the paper maps
+// R[i] to the set of constants occurring in D_H at R[i]).
+func BuildConstPool(db *relation.Database, maxPerAttr int) ConstPool {
+	if maxPerAttr <= 0 {
+		maxPerAttr = 64
+	}
+	pool := make(ConstPool)
+	for ri := range db.Schema.Rels {
+		def := &db.Schema.Rels[ri]
+		for col := 0; col < def.Arity(); col++ {
+			seen := make(map[relation.Value]bool)
+			var vals []relation.Value
+			for _, t := range db.Tables[ri].Tuples {
+				v := t[col]
+				if !seen[v] {
+					seen[v] = true
+					vals = append(vals, v)
+					if len(vals) >= maxPerAttr {
+						break
+					}
+				}
+			}
+			if len(vals) > 0 {
+				pool[AttrRef{def.Name, col}] = vals
+			}
+		}
+	}
+	return pool
+}
+
+// SQGConfig parameterizes the static query generator.
+type SQGConfig struct {
+	// Joins is j: the number of join conditions.
+	Joins int
+	// Constants is c: the number of constant occurrences.
+	Constants int
+	// Projection is p: the fraction of the atoms' attributes projected.
+	Projection float64
+	// Seed fixes the random stream.
+	Seed uint64
+	// MaxAttempts bounds the retries when randomly drawn conditions
+	// conflict (default 100).
+	MaxAttempts int
+}
+
+// SQG generates one CQ over the schema with the requested static
+// parameters, following Appendix D: join conditions are drawn from the
+// FK-derived joinable attribute pairs, constant conditions from the pool,
+// and the conditions determine the smallest atom set realizing them (one
+// atom per relation, so generated queries are self-join-free, matching the
+// well-behaved CQA fragment).
+func SQG(schema *relation.Schema, pool ConstPool, cfg SQGConfig) (*cq.Query, error) {
+	if cfg.Joins < 0 || cfg.Constants < 0 {
+		return nil, fmt.Errorf("qgen: negative join or constant count")
+	}
+	if cfg.Projection < 0 || cfg.Projection > 1 {
+		return nil, fmt.Errorf("qgen: projection must be in [0, 1], got %v", cfg.Projection)
+	}
+	attempts := cfg.MaxAttempts
+	if attempts <= 0 {
+		attempts = 100
+	}
+	joinable := schema.JoinablePairs()
+	if cfg.Joins > 0 && len(joinable) == 0 {
+		return nil, fmt.Errorf("qgen: schema has no joinable attribute pairs")
+	}
+	src := mt.New(cfg.Seed)
+
+	for attempt := 0; attempt < attempts; attempt++ {
+		q, ok := trySQG(schema, pool, cfg, joinable, src)
+		if ok {
+			if err := q.Validate(schema); err != nil {
+				return nil, fmt.Errorf("qgen: generated invalid query: %w", err)
+			}
+			return q, nil
+		}
+	}
+	return nil, fmt.Errorf("qgen: could not realize j=%d c=%d after %d attempts", cfg.Joins, cfg.Constants, attempts)
+}
+
+// builder holds a query under construction: one atom per relation, each
+// position initially a fresh variable.
+type builder struct {
+	schema *relation.Schema
+	// atomOf maps relation name to index in atoms, -1 if absent.
+	atoms []cq.Atom
+	rels  map[string]int
+	nVars int
+}
+
+func (b *builder) atomFor(rel string) int {
+	if i, ok := b.rels[rel]; ok {
+		return i
+	}
+	def := b.schema.Rel(rel)
+	args := make([]cq.Term, def.Arity())
+	for i := range args {
+		args[i] = cq.V(b.nVars)
+		b.nVars++
+	}
+	b.atoms = append(b.atoms, cq.Atom{Rel: rel, Args: args})
+	b.rels[rel] = len(b.atoms) - 1
+	return len(b.atoms) - 1
+}
+
+func trySQG(schema *relation.Schema, pool ConstPool, cfg SQGConfig, joinable []relation.JoinablePair, src *mt.Source) (*cq.Query, bool) {
+	b := &builder{schema: schema, rels: map[string]int{}}
+
+	// Join conditions: unify the variables at the two attributes.
+	for j := 0; j < cfg.Joins; j++ {
+		jp := joinable[src.Intn(len(joinable))]
+		ai := b.atomFor(jp.RelA)
+		bi := b.atomFor(jp.RelB)
+		ta := b.atoms[ai].Args[jp.ColA]
+		tb := b.atoms[bi].Args[jp.ColB]
+		if !ta.IsVar || !tb.IsVar {
+			return nil, false // position already holds a constant
+		}
+		if ta.Var == tb.Var {
+			return nil, false // join already present: would not add a join
+		}
+		// Replace every occurrence of tb's variable with ta's.
+		for x := range b.atoms {
+			for y := range b.atoms[x].Args {
+				if t := b.atoms[x].Args[y]; t.IsVar && t.Var == tb.Var {
+					b.atoms[x].Args[y] = ta
+				}
+			}
+		}
+	}
+
+	// Constant conditions: fix random attributes to pool constants.
+	poolKeys := make([]AttrRef, 0, len(pool))
+	for k := range pool {
+		poolKeys = append(poolKeys, k)
+	}
+	sort.Slice(poolKeys, func(i, j int) bool {
+		if poolKeys[i].Rel != poolKeys[j].Rel {
+			return poolKeys[i].Rel < poolKeys[j].Rel
+		}
+		return poolKeys[i].Col < poolKeys[j].Col
+	})
+	if cfg.Constants > 0 && len(poolKeys) == 0 {
+		return nil, false
+	}
+	for c := 0; c < cfg.Constants; c++ {
+		// Prefer attributes of relations already in the query so constants
+		// constrain the joined atoms (matching the paper's generated
+		// workloads, where the constants select within the join).
+		var candidates []AttrRef
+		for _, k := range poolKeys {
+			if _, ok := b.rels[k.Rel]; ok {
+				candidates = append(candidates, k)
+			}
+		}
+		if len(candidates) == 0 {
+			candidates = poolKeys
+		}
+		ar := candidates[src.Intn(len(candidates))]
+		ai := b.atomFor(ar.Rel)
+		t := b.atoms[ai].Args[ar.Col]
+		if !t.IsVar {
+			return nil, false // already a constant
+		}
+		// The variable must not be shared (it would kill a join).
+		occurrences := 0
+		for x := range b.atoms {
+			for _, u := range b.atoms[x].Args {
+				if u.IsVar && u.Var == t.Var {
+					occurrences++
+				}
+			}
+		}
+		if occurrences > 1 {
+			return nil, false
+		}
+		vals := pool[ar]
+		b.atoms[ai].Args[ar.Col] = cq.C(vals[src.Intn(len(vals))])
+	}
+
+	// Renumber variables densely and name them.
+	remap := map[int]int{}
+	var names []string
+	for x := range b.atoms {
+		for y, t := range b.atoms[x].Args {
+			if !t.IsVar {
+				continue
+			}
+			id, ok := remap[t.Var]
+			if !ok {
+				id = len(remap)
+				remap[t.Var] = id
+				names = append(names, fmt.Sprintf("x%d", id))
+			}
+			b.atoms[x].Args[y] = cq.V(id)
+		}
+	}
+
+	// Projection: choose ⌈p·|T|⌉ of the variable positions.
+	var varPositions []int // variable ids, with duplicates per position
+	for x := range b.atoms {
+		for _, t := range b.atoms[x].Args {
+			if t.IsVar {
+				varPositions = append(varPositions, t.Var)
+			}
+		}
+	}
+	nProj := int(cfg.Projection*float64(len(varPositions)) + 0.999999)
+	if nProj > len(varPositions) {
+		nProj = len(varPositions)
+	}
+	src.Shuffle(len(varPositions), func(i, j int) {
+		varPositions[i], varPositions[j] = varPositions[j], varPositions[i]
+	})
+	outSet := map[int]bool{}
+	for _, v := range varPositions[:nProj] {
+		outSet[v] = true
+	}
+	var out []int
+	for v := range outSet {
+		out = append(out, v)
+	}
+	sort.Ints(out)
+
+	q := &cq.Query{
+		Atoms:    b.atoms,
+		Out:      out,
+		NumVars:  len(remap),
+		VarNames: names,
+	}
+	return q, true
+}
+
+// SQGNonEmpty repeatedly calls SQG with successive seeds until it produces
+// a query whose Boolean version holds over db (the paper keeps "the CQs
+// whose evaluation over D_H is non-empty"). tries bounds the attempts.
+func SQGNonEmpty(db *relation.Database, pool ConstPool, cfg SQGConfig, tries int) (*cq.Query, error) {
+	if tries <= 0 {
+		tries = 50
+	}
+	ev := engine.NewEvaluator(db)
+	var lastErr error
+	for i := 0; i < tries; i++ {
+		c := cfg
+		c.Seed = cfg.Seed + uint64(i)*1000003
+		q, err := SQG(db.Schema, pool, c)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		ok, err := ev.HasAnswer(q.Boolean(), nil)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		if ok {
+			return q, nil
+		}
+	}
+	if lastErr == nil {
+		lastErr = fmt.Errorf("all generated queries were empty over the database")
+	}
+	return nil, fmt.Errorf("qgen: no non-empty query in %d tries: %w", tries, lastErr)
+}

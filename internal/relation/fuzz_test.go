@@ -1,0 +1,76 @@
+package relation
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParseSchema: the schema DSL parser must never panic, and accepted
+// schemas must round-trip through WriteSchema.
+func FuzzParseSchema(f *testing.F) {
+	for _, seed := range []string{
+		"relation R(a*, b)\n",
+		"relation R(a*, b)\nrelation S(x*)\nfk R(b) -> S(x)\n",
+		"# comment\nrelation R(a)\n",
+		"relation R()\n",
+		"fk A(x) -> B(y)\n",
+		"relation R(a, b*)\n",
+		"relation R(a*,\x00)\n",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, input string) {
+		s, err := ParseSchemaString(input)
+		if err != nil {
+			return
+		}
+		var b strings.Builder
+		if err := WriteSchema(&b, s); err != nil {
+			t.Fatalf("accepted schema failed to render: %v", err)
+		}
+		s2, err := ParseSchemaString(b.String())
+		if err != nil {
+			t.Fatalf("rendering %q of accepted schema rejected: %v", b.String(), err)
+		}
+		if len(s2.Rels) != len(s.Rels) || len(s2.FKs) != len(s.FKs) {
+			t.Fatal("round trip changed the schema")
+		}
+	})
+}
+
+// FuzzReadDB: the database reader must never panic and must only accept
+// rows consistent with the schema.
+func FuzzReadDB(f *testing.F) {
+	for _, seed := range []string{
+		"R|i:1|s:hello\n",
+		"R|i:1|s:a\\pb\n",
+		"R|i:zzz|s:x\n",
+		"X|i:1|i:2\n",
+		"R|1|2\n",
+		"R|i:1\n",
+		"\nR|i:1|s:\n",
+	} {
+		f.Add(seed)
+	}
+	schema := MustSchema([]RelDef{
+		{Name: "R", Attrs: []string{"k", "v"}, KeyLen: 1},
+	}, nil)
+	f.Fuzz(func(t *testing.T, input string) {
+		db, err := ReadDB(strings.NewReader(input), schema)
+		if err != nil {
+			return
+		}
+		// Accepted databases must re-serialize and re-parse losslessly.
+		var b strings.Builder
+		if err := WriteDB(&b, db); err != nil {
+			t.Fatalf("write-back failed: %v", err)
+		}
+		back, err := ReadDB(strings.NewReader(b.String()), schema)
+		if err != nil {
+			t.Fatalf("round trip rejected: %v", err)
+		}
+		if back.NumFacts() != db.NumFacts() {
+			t.Fatal("round trip changed fact count")
+		}
+	})
+}

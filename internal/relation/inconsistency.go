@@ -1,0 +1,109 @@
+package relation
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// InconsistencyReport summarizes how inconsistent a database is — the
+// "amount of inconsistency" axis of the paper's scenarios — with the
+// standard primary-key violation measures.
+type InconsistencyReport struct {
+	// Facts is the total fact count; ConflictingFacts counts facts in
+	// non-singleton blocks.
+	Facts, ConflictingFacts int
+	// Blocks and ConflictBlocks count all blocks and non-singleton blocks.
+	Blocks, ConflictBlocks int
+	// MaxBlockSize is the largest block cardinality.
+	MaxBlockSize int
+	// BlockSizeHistogram maps non-singleton block sizes to counts.
+	BlockSizeHistogram map[int]int
+	// Log2Repairs is log2 |rep(D, Σ)| (the repair count itself is
+	// astronomically large; its logarithm is the usual summary).
+	Log2Repairs float64
+	// PerRelation breaks conflicts down by relation, in schema order.
+	PerRelation []RelationInconsistency
+}
+
+// RelationInconsistency is the per-relation slice of the report.
+type RelationInconsistency struct {
+	Relation        string
+	Facts           int
+	ConflictBlocks  int
+	MaxBlockSize    int
+	FactsInConflict int
+}
+
+// BlockNoise returns the fraction of blocks that are conflicting.
+func (r *InconsistencyReport) BlockNoise() float64 {
+	if r.Blocks == 0 {
+		return 0
+	}
+	return float64(r.ConflictBlocks) / float64(r.Blocks)
+}
+
+// FactNoise returns the fraction of facts involved in some conflict.
+func (r *InconsistencyReport) FactNoise() float64 {
+	if r.Facts == 0 {
+		return 0
+	}
+	return float64(r.ConflictingFacts) / float64(r.Facts)
+}
+
+// MeasureInconsistency computes the report for a database.
+func MeasureInconsistency(db *Database) *InconsistencyReport {
+	bi := BuildBlocks(db)
+	rep := &InconsistencyReport{
+		Facts:              db.NumFacts(),
+		Blocks:             len(bi.Blocks),
+		BlockSizeHistogram: make(map[int]int),
+		PerRelation:        make([]RelationInconsistency, len(db.Schema.Rels)),
+	}
+	for i := range rep.PerRelation {
+		rep.PerRelation[i].Relation = db.Schema.Rels[i].Name
+	}
+	for i := range bi.Blocks {
+		b := &bi.Blocks[i]
+		pr := &rep.PerRelation[b.Rel]
+		pr.Facts += b.Size()
+		if b.Size() > pr.MaxBlockSize {
+			pr.MaxBlockSize = b.Size()
+		}
+		if b.Size() > 1 {
+			rep.ConflictBlocks++
+			rep.ConflictingFacts += b.Size()
+			rep.BlockSizeHistogram[b.Size()]++
+			pr.ConflictBlocks++
+			pr.FactsInConflict += b.Size()
+		}
+		if b.Size() > rep.MaxBlockSize {
+			rep.MaxBlockSize = b.Size()
+		}
+		rep.Log2Repairs += math.Log2(float64(b.Size()))
+	}
+	return rep
+}
+
+// String renders the report.
+func (r *InconsistencyReport) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "facts: %d (%.1f%% in conflict)\n", r.Facts, 100*r.FactNoise())
+	fmt.Fprintf(&b, "blocks: %d (%d conflicting, %.1f%%), max size %d\n",
+		r.Blocks, r.ConflictBlocks, 100*r.BlockNoise(), r.MaxBlockSize)
+	fmt.Fprintf(&b, "log2(repairs): %.1f\n", r.Log2Repairs)
+	if len(r.BlockSizeHistogram) > 0 {
+		var sizes []int
+		for s := range r.BlockSizeHistogram {
+			sizes = append(sizes, s)
+		}
+		sort.Ints(sizes)
+		b.WriteString("conflict block sizes:")
+		for _, s := range sizes {
+			fmt.Fprintf(&b, " %d:%d", s, r.BlockSizeHistogram[s])
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

@@ -1,0 +1,130 @@
+package relation
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// WriteDB serializes a database as a line-oriented text format:
+//
+//	relname|i:42|s:hello|...
+//
+// Fields are typed (i: integer, s: string) so values round-trip exactly;
+// strings escape '|', '\' and newlines. The schema itself is not
+// serialized: the reader must be given the same schema.
+func WriteDB(w io.Writer, db *Database) error {
+	bw := bufio.NewWriter(w)
+	for ri, tb := range db.Tables {
+		name := db.Schema.Rels[ri].Name
+		for _, t := range tb.Tuples {
+			bw.WriteString(name)
+			for _, v := range t {
+				bw.WriteByte('|')
+				if v >= 0 {
+					bw.WriteString("i:")
+					bw.WriteString(strconv.FormatInt(int64(v), 10))
+				} else {
+					bw.WriteString("s:")
+					bw.WriteString(escapeField(db.Dict.Render(v)))
+				}
+			}
+			bw.WriteByte('\n')
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadDB parses the format written by WriteDB into a fresh database over
+// the given schema.
+func ReadDB(r io.Reader, schema *Schema) (*Database, error) {
+	db := NewDatabase(schema)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<24)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if line == "" {
+			continue
+		}
+		fields := splitFields(line)
+		name := fields[0]
+		ri := schema.RelIndex(name)
+		if ri < 0 {
+			return nil, fmt.Errorf("relation: line %d: unknown relation %q", lineNo, name)
+		}
+		if len(fields)-1 != schema.Rels[ri].Arity() {
+			return nil, fmt.Errorf("relation: line %d: %s expects %d fields, got %d",
+				lineNo, name, schema.Rels[ri].Arity(), len(fields)-1)
+		}
+		t := make(Tuple, len(fields)-1)
+		for i, f := range fields[1:] {
+			switch {
+			case strings.HasPrefix(f, "i:"):
+				n, err := strconv.ParseInt(f[2:], 10, 64)
+				if err != nil {
+					return nil, fmt.Errorf("relation: line %d field %d: %w", lineNo, i+1, err)
+				}
+				t[i] = db.Dict.Int(n)
+			case strings.HasPrefix(f, "s:"):
+				t[i] = db.Dict.String(unescapeField(f[2:]))
+			default:
+				return nil, fmt.Errorf("relation: line %d field %d: missing type prefix in %q", lineNo, i+1, f)
+			}
+		}
+		if _, err := db.InsertTuple(name, t); err != nil {
+			return nil, fmt.Errorf("relation: line %d: %w", lineNo, err)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return db, nil
+}
+
+func escapeField(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	s = strings.ReplaceAll(s, "|", `\p`)
+	s = strings.ReplaceAll(s, "\n", `\n`)
+	return s
+}
+
+func unescapeField(s string) string {
+	var b strings.Builder
+	b.Grow(len(s))
+	for i := 0; i < len(s); i++ {
+		if s[i] == '\\' && i+1 < len(s) {
+			i++
+			switch s[i] {
+			case 'p':
+				b.WriteByte('|')
+			case 'n':
+				b.WriteByte('\n')
+			default:
+				b.WriteByte(s[i])
+			}
+			continue
+		}
+		b.WriteByte(s[i])
+	}
+	return b.String()
+}
+
+// splitFields splits on unescaped '|'.
+func splitFields(line string) []string {
+	var fields []string
+	start := 0
+	for i := 0; i < len(line); i++ {
+		switch line[i] {
+		case '\\':
+			i++ // skip escaped char
+		case '|':
+			fields = append(fields, line[start:i])
+			start = i + 1
+		}
+	}
+	return append(fields, line[start:])
+}

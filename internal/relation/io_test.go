@@ -1,0 +1,89 @@
+package relation
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	s := MustSchema([]RelDef{
+		{Name: "Employee", Attrs: []string{"id", "name", "dept"}, KeyLen: 1},
+	}, nil)
+	db := NewDatabase(s)
+	db.MustInsert("Employee", 1, "Bob", "HR")
+	db.MustInsert("Employee", 2, "Al|ice", "I\\T")
+	db.MustInsert("Employee", 3, "line\nbreak", "X")
+
+	var buf strings.Builder
+	if err := WriteDB(&buf, db); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadDB(strings.NewReader(buf.String()), s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumFacts() != db.NumFacts() {
+		t.Fatalf("facts = %d, want %d", got.NumFacts(), db.NumFacts())
+	}
+	if got.String() != db.String() {
+		t.Fatalf("round trip changed database:\n%s\nvs\n%s", got.String(), db.String())
+	}
+}
+
+func TestReadDBErrors(t *testing.T) {
+	s := MustSchema([]RelDef{
+		{Name: "R", Attrs: []string{"a", "b"}, KeyLen: 1},
+	}, nil)
+	for name, input := range map[string]string{
+		"unknown rel": "X|i:1|i:2\n",
+		"bad arity":   "R|i:1\n",
+		"bad int":     "R|i:zzz|i:2\n",
+		"no prefix":   "R|1|2\n",
+	} {
+		if _, err := ReadDB(strings.NewReader(input), s); err == nil {
+			t.Errorf("%s: expected error", name)
+		}
+	}
+}
+
+func TestReadDBSkipsBlankLines(t *testing.T) {
+	s := MustSchema([]RelDef{
+		{Name: "R", Attrs: []string{"a"}, KeyLen: 1},
+	}, nil)
+	db, err := ReadDB(strings.NewReader("\nR|i:1\n\nR|i:2\n"), s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if db.NumFacts() != 2 {
+		t.Fatalf("facts = %d", db.NumFacts())
+	}
+}
+
+// Property: arbitrary string values survive a write/read round trip.
+func TestIOStringProperty(t *testing.T) {
+	s := MustSchema([]RelDef{
+		{Name: "R", Attrs: []string{"k", "v"}, KeyLen: 1},
+	}, nil)
+	f := func(vals []string) bool {
+		db := NewDatabase(s)
+		for i, v := range vals {
+			if len(v) > 40 {
+				v = v[:40]
+			}
+			db.MustInsert("R", i, v)
+		}
+		var buf strings.Builder
+		if err := WriteDB(&buf, db); err != nil {
+			return false
+		}
+		got, err := ReadDB(strings.NewReader(buf.String()), s)
+		if err != nil {
+			return false
+		}
+		return got.String() == db.String()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,166 @@
+package relation
+
+import (
+	"fmt"
+	"strings"
+)
+
+// RelDef describes one relation symbol: its name, attribute names, and the
+// length m of its primary key key(R) = {1,...,m}. KeyLen == 0 means the
+// relation has no declared key; per the paper, the key value of such a
+// fact is then the whole tuple, so the relation can never be inconsistent.
+type RelDef struct {
+	Name   string
+	Attrs  []string
+	KeyLen int
+}
+
+// Arity returns the number of attributes.
+func (r *RelDef) Arity() int { return len(r.Attrs) }
+
+// AttrIndex returns the 0-based position of the named attribute, or -1.
+func (r *RelDef) AttrIndex(name string) int {
+	for i, a := range r.Attrs {
+		if a == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// ForeignKey records that FromRel's columns FromCols reference ToRel's
+// columns ToCols. The static query generator (SQG) derives its joinable
+// attribute pairs from these, exactly as in Appendix D.
+type ForeignKey struct {
+	FromRel  string
+	FromCols []int
+	ToRel    string
+	ToCols   []int
+}
+
+// Schema is a finite set of relation symbols with primary keys and an
+// optional foreign-key graph used by the query generators.
+type Schema struct {
+	Rels   []RelDef
+	FKs    []ForeignKey
+	byName map[string]int
+}
+
+// NewSchema builds a schema from relation definitions. It validates that
+// names are unique, attributes are unique per relation, and key lengths
+// are within arity.
+func NewSchema(rels []RelDef, fks []ForeignKey) (*Schema, error) {
+	s := &Schema{Rels: rels, FKs: fks, byName: make(map[string]int, len(rels))}
+	for i, r := range rels {
+		if r.Name == "" {
+			return nil, fmt.Errorf("relation: relation %d has empty name", i)
+		}
+		if _, dup := s.byName[r.Name]; dup {
+			return nil, fmt.Errorf("relation: duplicate relation %q", r.Name)
+		}
+		if r.KeyLen < 0 || r.KeyLen > len(r.Attrs) {
+			return nil, fmt.Errorf("relation: %s: key length %d out of range for arity %d", r.Name, r.KeyLen, len(r.Attrs))
+		}
+		if len(r.Attrs) == 0 {
+			return nil, fmt.Errorf("relation: %s has arity 0", r.Name)
+		}
+		seen := make(map[string]bool, len(r.Attrs))
+		for _, a := range r.Attrs {
+			if seen[a] {
+				return nil, fmt.Errorf("relation: %s: duplicate attribute %q", r.Name, a)
+			}
+			seen[a] = true
+		}
+		s.byName[r.Name] = i
+	}
+	for _, fk := range fks {
+		f, ok := s.byName[fk.FromRel]
+		if !ok {
+			return nil, fmt.Errorf("relation: FK from unknown relation %q", fk.FromRel)
+		}
+		t, ok := s.byName[fk.ToRel]
+		if !ok {
+			return nil, fmt.Errorf("relation: FK to unknown relation %q", fk.ToRel)
+		}
+		if len(fk.FromCols) != len(fk.ToCols) || len(fk.FromCols) == 0 {
+			return nil, fmt.Errorf("relation: FK %s->%s has mismatched columns", fk.FromRel, fk.ToRel)
+		}
+		for _, c := range fk.FromCols {
+			if c < 0 || c >= s.Rels[f].Arity() {
+				return nil, fmt.Errorf("relation: FK %s->%s column %d out of range", fk.FromRel, fk.ToRel, c)
+			}
+		}
+		for _, c := range fk.ToCols {
+			if c < 0 || c >= s.Rels[t].Arity() {
+				return nil, fmt.Errorf("relation: FK %s->%s target column %d out of range", fk.FromRel, fk.ToRel, c)
+			}
+		}
+	}
+	return s, nil
+}
+
+// MustSchema is NewSchema but panics on error; for statically-known schemas.
+func MustSchema(rels []RelDef, fks []ForeignKey) *Schema {
+	s, err := NewSchema(rels, fks)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// RelIndex returns the index of the named relation, or -1.
+func (s *Schema) RelIndex(name string) int {
+	if i, ok := s.byName[name]; ok {
+		return i
+	}
+	return -1
+}
+
+// Rel returns the definition of the named relation, or nil.
+func (s *Schema) Rel(name string) *RelDef {
+	if i, ok := s.byName[name]; ok {
+		return &s.Rels[i]
+	}
+	return nil
+}
+
+// Joinable returns all attribute pairs (R[i], P[j]) that the FK graph
+// declares joinable, in both directions. SQG picks its join conditions
+// from this set.
+type JoinablePair struct {
+	RelA string
+	ColA int
+	RelB string
+	ColB int
+}
+
+// JoinablePairs expands the FK graph into individual attribute pairs.
+func (s *Schema) JoinablePairs() []JoinablePair {
+	var out []JoinablePair
+	for _, fk := range s.FKs {
+		for k := range fk.FromCols {
+			out = append(out, JoinablePair{fk.FromRel, fk.FromCols[k], fk.ToRel, fk.ToCols[k]})
+		}
+	}
+	return out
+}
+
+// String renders the schema in a compact DDL-like form.
+func (s *Schema) String() string {
+	var b strings.Builder
+	for _, r := range s.Rels {
+		b.WriteString(r.Name)
+		b.WriteByte('(')
+		for i, a := range r.Attrs {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			if i < r.KeyLen {
+				b.WriteByte('*')
+			}
+			b.WriteString(a)
+		}
+		b.WriteString(")\n")
+	}
+	return b.String()
+}

@@ -1,0 +1,176 @@
+package relation
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// ParseSchema reads a schema from the package's small text DSL, so the
+// benchmark tools work on arbitrary user schemas:
+//
+//	# comment
+//	relation Employee(id*, name, dept)
+//	relation Dept(name*, budget)
+//	fk Employee(dept) -> Dept(name)
+//
+// A '*' suffix marks a primary-key attribute; key attributes must form a
+// prefix of the attribute list (the paper's key(R) = {1..m} convention).
+// 'fk' lines declare joinable column correspondences for the query
+// generators; multi-column keys list several columns: fk A(x, y) -> B(u, v).
+func ParseSchema(r io.Reader) (*Schema, error) {
+	var rels []RelDef
+	var fks []ForeignKey
+	sc := bufio.NewScanner(r)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		switch {
+		case strings.HasPrefix(line, "relation "):
+			def, err := parseRelationLine(strings.TrimPrefix(line, "relation "))
+			if err != nil {
+				return nil, fmt.Errorf("relation: schema line %d: %w", lineNo, err)
+			}
+			rels = append(rels, def)
+		case strings.HasPrefix(line, "fk "):
+			fk, err := parseFKLine(strings.TrimPrefix(line, "fk "), rels)
+			if err != nil {
+				return nil, fmt.Errorf("relation: schema line %d: %w", lineNo, err)
+			}
+			fks = append(fks, fk)
+		default:
+			return nil, fmt.Errorf("relation: schema line %d: expected 'relation' or 'fk', got %q", lineNo, line)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(rels) == 0 {
+		return nil, fmt.Errorf("relation: schema declares no relations")
+	}
+	return NewSchema(rels, fks)
+}
+
+// ParseSchemaString is ParseSchema over a string.
+func ParseSchemaString(s string) (*Schema, error) {
+	return ParseSchema(strings.NewReader(s))
+}
+
+func parseRelationLine(s string) (RelDef, error) {
+	name, args, err := splitCall(s)
+	if err != nil {
+		return RelDef{}, err
+	}
+	def := RelDef{Name: name}
+	keyEnded := false
+	for i, a := range args {
+		a = strings.TrimSpace(a)
+		if starred := strings.HasSuffix(a, "*"); starred {
+			if keyEnded {
+				return RelDef{}, fmt.Errorf("key attribute %q after non-key attributes (keys must be a prefix)", a)
+			}
+			def.KeyLen = i + 1
+			a = strings.TrimSuffix(a, "*")
+		} else {
+			keyEnded = true
+		}
+		if a == "" {
+			return RelDef{}, fmt.Errorf("empty attribute name")
+		}
+		def.Attrs = append(def.Attrs, a)
+	}
+	return def, nil
+}
+
+func parseFKLine(s string, rels []RelDef) (ForeignKey, error) {
+	parts := strings.SplitN(s, "->", 2)
+	if len(parts) != 2 {
+		return ForeignKey{}, fmt.Errorf("fk needs the form A(cols) -> B(cols)")
+	}
+	fromRel, fromAttrs, err := splitCall(strings.TrimSpace(parts[0]))
+	if err != nil {
+		return ForeignKey{}, err
+	}
+	toRel, toAttrs, err := splitCall(strings.TrimSpace(parts[1]))
+	if err != nil {
+		return ForeignKey{}, err
+	}
+	resolve := func(rel string, attrs []string) ([]int, error) {
+		for _, def := range rels {
+			if def.Name != rel {
+				continue
+			}
+			cols := make([]int, len(attrs))
+			for i, a := range attrs {
+				idx := def.AttrIndex(strings.TrimSpace(a))
+				if idx < 0 {
+					return nil, fmt.Errorf("relation %s has no attribute %q", rel, strings.TrimSpace(a))
+				}
+				cols[i] = idx
+			}
+			return cols, nil
+		}
+		return nil, fmt.Errorf("fk references undeclared relation %q (declare relations before fks)", rel)
+	}
+	fromCols, err := resolve(fromRel, fromAttrs)
+	if err != nil {
+		return ForeignKey{}, err
+	}
+	toCols, err := resolve(toRel, toAttrs)
+	if err != nil {
+		return ForeignKey{}, err
+	}
+	return ForeignKey{FromRel: fromRel, FromCols: fromCols, ToRel: toRel, ToCols: toCols}, nil
+}
+
+// splitCall parses "Name(a, b, c)".
+func splitCall(s string) (string, []string, error) {
+	open := strings.IndexByte(s, '(')
+	if open <= 0 || !strings.HasSuffix(s, ")") {
+		return "", nil, fmt.Errorf("expected Name(attr, ...), got %q", s)
+	}
+	name := strings.TrimSpace(s[:open])
+	inner := s[open+1 : len(s)-1]
+	if strings.TrimSpace(inner) == "" {
+		return "", nil, fmt.Errorf("%s declares no attributes", name)
+	}
+	return name, strings.Split(inner, ","), nil
+}
+
+// WriteSchema renders a schema back into the DSL (round-trips with
+// ParseSchema).
+func WriteSchema(w io.Writer, s *Schema) error {
+	for _, def := range s.Rels {
+		attrs := make([]string, len(def.Attrs))
+		for i, a := range def.Attrs {
+			if i < def.KeyLen {
+				attrs[i] = a + "*"
+			} else {
+				attrs[i] = a
+			}
+		}
+		if _, err := fmt.Fprintf(w, "relation %s(%s)\n", def.Name, strings.Join(attrs, ", ")); err != nil {
+			return err
+		}
+	}
+	for _, fk := range s.FKs {
+		from := make([]string, len(fk.FromCols))
+		for i, c := range fk.FromCols {
+			from[i] = s.Rel(fk.FromRel).Attrs[c]
+		}
+		to := make([]string, len(fk.ToCols))
+		for i, c := range fk.ToCols {
+			to[i] = s.Rel(fk.ToRel).Attrs[c]
+		}
+		if _, err := fmt.Fprintf(w, "fk %s(%s) -> %s(%s)\n",
+			fk.FromRel, strings.Join(from, ", "), fk.ToRel, strings.Join(to, ", ")); err != nil {
+			return err
+		}
+	}
+	return nil
+}

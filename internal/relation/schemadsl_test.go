@@ -1,0 +1,101 @@
+package relation
+
+import (
+	"strings"
+	"testing"
+)
+
+const employeeDSL = `
+# staff management
+relation Employee(id*, name, dept)
+relation Dept(name*, budget)
+fk Employee(dept) -> Dept(name)
+`
+
+func TestParseSchemaDSL(t *testing.T) {
+	s, err := ParseSchemaString(employeeDSL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Rels) != 2 {
+		t.Fatalf("relations = %d", len(s.Rels))
+	}
+	emp := s.Rel("Employee")
+	if emp == nil || emp.KeyLen != 1 || emp.Arity() != 3 {
+		t.Fatalf("Employee = %+v", emp)
+	}
+	if len(s.FKs) != 1 || s.FKs[0].FromCols[0] != 2 || s.FKs[0].ToCols[0] != 0 {
+		t.Fatalf("FKs = %+v", s.FKs)
+	}
+}
+
+func TestParseSchemaCompositeKeyAndFK(t *testing.T) {
+	s, err := ParseSchemaString(`
+relation Sale(store*, ticket*, item, qty)
+relation Item(sku*, name)
+fk Sale(item) -> Item(sku)
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Rel("Sale").KeyLen != 2 {
+		t.Fatalf("Sale key = %d", s.Rel("Sale").KeyLen)
+	}
+}
+
+func TestParseSchemaErrors(t *testing.T) {
+	cases := map[string]string{
+		"no relations":   "# nothing\n",
+		"bad line":       "table R(a)\n",
+		"non-prefix key": "relation R(a, b*)\n",
+		"empty attr":     "relation R(a, )\n",
+		"no attrs":       "relation R()\n",
+		"fk before rel":  "fk A(x) -> B(y)\nrelation A(x*)\n",
+		"fk bad attr":    "relation A(x*)\nrelation B(y*)\nfk A(z) -> B(y)\n",
+		"fk malformed":   "relation A(x*)\nfk A(x) B(y)\n",
+		"call malformed": "relation R a, b\n",
+		"dup relation":   "relation R(a*)\nrelation R(a*)\n",
+	}
+	for name, dsl := range cases {
+		if _, err := ParseSchemaString(dsl); err == nil {
+			t.Errorf("%s: expected error", name)
+		}
+	}
+}
+
+func TestSchemaDSLRoundTrip(t *testing.T) {
+	s, err := ParseSchemaString(employeeDSL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	if err := WriteSchema(&b, s); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := ParseSchemaString(b.String())
+	if err != nil {
+		t.Fatalf("re-parse %q: %v", b.String(), err)
+	}
+	var b2 strings.Builder
+	if err := WriteSchema(&b2, s2); err != nil {
+		t.Fatal(err)
+	}
+	if b.String() != b2.String() {
+		t.Fatalf("round trip unstable:\n%s\nvs\n%s", b.String(), b2.String())
+	}
+}
+
+func TestParsedSchemaUsable(t *testing.T) {
+	s, err := ParseSchemaString(employeeDSL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db := NewDatabase(s)
+	db.MustInsert("Employee", 1, "Bob", "HR")
+	db.MustInsert("Employee", 1, "Bob", "IT")
+	db.MustInsert("Dept", "HR", 1000)
+	bi := BuildBlocks(db)
+	if bi.IsConsistent() {
+		t.Fatal("conflict not detected on DSL schema")
+	}
+}

@@ -1,0 +1,188 @@
+// Package repair implements repairs of inconsistent databases under
+// primary keys: rep(D, Σ) is the set of maximal consistent subsets of D,
+// obtained by keeping exactly one fact from each block (Section 2).
+//
+// The package provides explicit enumeration, exact relative frequencies
+// R_{D,Σ,Q}(t̄) by enumeration, and uniform repair sampling. Everything
+// here is exponential-time ground truth: the approximation schemes in
+// internal/cqa never touch it, but every test does.
+package repair
+
+import (
+	"errors"
+	"fmt"
+	"math/big"
+
+	"cqabench/internal/cq"
+	"cqabench/internal/engine"
+	"cqabench/internal/mt"
+	"cqabench/internal/relation"
+)
+
+// ErrTooManyRepairs is returned when enumeration would exceed the caller's
+// limit.
+var ErrTooManyRepairs = errors.New("repair: repair count exceeds limit")
+
+// ErrStop may be returned by an enumeration callback to stop early.
+var ErrStop = errors.New("repair: stop enumeration")
+
+// Count returns |rep(D, Σ)| exactly.
+func Count(db *relation.Database) *big.Int {
+	return relation.BuildBlocks(db).NumRepairs()
+}
+
+// Enumerate calls fn once per repair, passing the facts kept (one per
+// block, in block order). The slice is reused across calls. If the number
+// of repairs exceeds limit, it returns ErrTooManyRepairs before invoking
+// fn at all. fn may return ErrStop to halt early.
+func Enumerate(db *relation.Database, limit int64, fn func(kept []relation.FactRef) error) error {
+	bi := relation.BuildBlocks(db)
+	total := bi.NumRepairs()
+	if limit > 0 && total.Cmp(big.NewInt(limit)) > 0 {
+		return fmt.Errorf("%w: %v > %d", ErrTooManyRepairs, total, limit)
+	}
+	n := len(bi.Blocks)
+	kept := make([]relation.FactRef, n)
+	choice := make([]int, n)
+	for i := range kept {
+		kept[i] = bi.Blocks[i].Facts[0]
+	}
+	for {
+		if err := fn(kept); err != nil {
+			if errors.Is(err, ErrStop) {
+				return nil
+			}
+			return err
+		}
+		// Odometer increment over block member choices.
+		i := 0
+		for ; i < n; i++ {
+			choice[i]++
+			if choice[i] < bi.Blocks[i].Size() {
+				kept[i] = bi.Blocks[i].Facts[choice[i]]
+				break
+			}
+			choice[i] = 0
+			kept[i] = bi.Blocks[i].Facts[0]
+		}
+		if i == n {
+			return nil
+		}
+	}
+}
+
+// EnumerateDatabases is Enumerate but materializes each repair as a
+// Database. Convenient for examples; slower than Enumerate.
+func EnumerateDatabases(db *relation.Database, limit int64, fn func(rep *relation.Database) error) error {
+	return Enumerate(db, limit, func(kept []relation.FactRef) error {
+		return fn(db.Restrict(kept))
+	})
+}
+
+// SampleRepair draws a uniformly random repair (one uniform member per
+// block) and returns the kept facts, in block order.
+func SampleRepair(bi *relation.BlockIndex, src *mt.Source) []relation.FactRef {
+	kept := make([]relation.FactRef, len(bi.Blocks))
+	for i := range bi.Blocks {
+		b := &bi.Blocks[i]
+		kept[i] = b.Facts[src.Intn(len(b.Facts))]
+	}
+	return kept
+}
+
+// ExactRelativeFreq computes R_{D,Σ,Q}(t̄) by enumerating every repair and
+// evaluating Q on each: the literal definition from Section 2. limit
+// bounds the number of repairs (0 means 1<<20).
+func ExactRelativeFreq(db *relation.Database, q *cq.Query, t relation.Tuple, limit int64) (float64, error) {
+	if limit == 0 {
+		limit = 1 << 20
+	}
+	if len(t) != len(q.Out) {
+		return 0, fmt.Errorf("repair: tuple arity %d vs output arity %d", len(t), len(q.Out))
+	}
+	num, den := 0, 0
+	err := EnumerateDatabases(db, limit, func(rep *relation.Database) error {
+		den++
+		ok, err := engine.NewEvaluator(rep).HasAnswer(q, t)
+		if err != nil {
+			return err
+		}
+		if ok {
+			num++
+		}
+		return nil
+	})
+	if err != nil {
+		return 0, err
+	}
+	if den == 0 {
+		return 0, fmt.Errorf("repair: no repairs (empty database has one repair; this cannot happen)")
+	}
+	return float64(num) / float64(den), nil
+}
+
+// TupleFreq pairs an answer tuple with its (exact or approximate) relative
+// frequency.
+type TupleFreq struct {
+	Tuple relation.Tuple
+	Freq  float64
+}
+
+// ExactAnswers computes the full consistent answer ans_{D,Σ}(Q): every
+// tuple with positive relative frequency, paired with the exact frequency,
+// by repair enumeration. Tuples are in deterministic order.
+func ExactAnswers(db *relation.Database, q *cq.Query, limit int64) ([]TupleFreq, error) {
+	if limit == 0 {
+		limit = 1 << 20
+	}
+	// Candidate answers are exactly Q(D): t̄ has positive frequency iff
+	// some consistent homomorphic image witnesses it (Lemma 4.1(4)), and
+	// any witness in a repair is a witness in D.
+	ev := engine.NewEvaluator(db)
+	cands, err := ev.Answers(q)
+	if err != nil {
+		return nil, err
+	}
+	counts := make([]int, len(cands))
+	den := 0
+	err = EnumerateDatabases(db, limit, func(rep *relation.Database) error {
+		den++
+		rev := engine.NewEvaluator(rep)
+		for i, t := range cands {
+			ok, err := rev.HasAnswer(q, t)
+			if err != nil {
+				return err
+			}
+			if ok {
+				counts[i]++
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var out []TupleFreq
+	for i, t := range cands {
+		if counts[i] > 0 {
+			out = append(out, TupleFreq{Tuple: t, Freq: float64(counts[i]) / float64(den)})
+		}
+	}
+	return out, nil
+}
+
+// CertainAnswers returns the classic CQA certain answers: tuples true in
+// every repair (relative frequency exactly 1), by enumeration.
+func CertainAnswers(db *relation.Database, q *cq.Query, limit int64) ([]relation.Tuple, error) {
+	all, err := ExactAnswers(db, q, limit)
+	if err != nil {
+		return nil, err
+	}
+	var out []relation.Tuple
+	for _, tf := range all {
+		if tf.Freq == 1 {
+			out = append(out, tf.Tuple)
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,66 @@
+package sampler
+
+import (
+	"cqabench/internal/mt"
+	"cqabench/internal/synopsis"
+)
+
+// NaturalIndexed is SampleNatural with an inverted index on each image's
+// first member: an image H can only cover the drawn database I if I keeps
+// H's first (block, member) choice, so instead of scanning every image
+// per sample, the sampler looks up the candidate images of each chosen
+// member and verifies only those. Same distribution and expected value as
+// Natural; the win appears on low-coverage synopses with many images over
+// large blocks, where the plain scan rejects all |H| images per sample
+// while the index visits |H|/size-of-block candidates in expectation
+// (about 2x at |H| = 3000 in BenchmarkNaturalIndexedSampleHuge; the plain
+// scan stays faster on small synopses where its early exit dominates).
+type NaturalIndexed struct {
+	pair   *synopsis.Admissible
+	chosen []int32
+	// byFirst maps a first member (block, fact) to the images starting
+	// with it (images are canonically sorted, so "first" is well defined).
+	byFirst map[synopsis.Member][]int32
+	// firstBlocks lists the distinct blocks that appear as first members;
+	// only their chosen values can trigger a candidate check.
+	firstBlocks []int32
+}
+
+// NewNaturalIndexed builds the indexed sampler. It is a drop-in
+// replacement for NewNatural.
+func NewNaturalIndexed(pair *synopsis.Admissible) *NaturalIndexed {
+	n := &NaturalIndexed{
+		pair:    pair,
+		chosen:  make([]int32, pair.NumBlocks()),
+		byFirst: make(map[synopsis.Member][]int32, pair.NumImages()),
+	}
+	seenBlock := make(map[int32]bool)
+	for i, img := range pair.Images {
+		first := img[0]
+		n.byFirst[first] = append(n.byFirst[first], int32(i))
+		if !seenBlock[first.Block] {
+			seenBlock[first.Block] = true
+			n.firstBlocks = append(n.firstBlocks, first.Block)
+		}
+	}
+	return n
+}
+
+// Sample draws I ∈ db(B) uniformly and returns 1 if some image covers it.
+func (n *NaturalIndexed) Sample(src *mt.Source) float64 {
+	for b, sz := range n.pair.BlockSizes {
+		n.chosen[b] = int32(src.Intn(int(sz)))
+	}
+	for _, b := range n.firstBlocks {
+		candidates := n.byFirst[synopsis.Member{Block: b, Fact: n.chosen[b]}]
+		for _, i := range candidates {
+			if n.pair.Covers(int(i), n.chosen) {
+				return 1
+			}
+		}
+	}
+	return 0
+}
+
+// GoodFactor returns 1: the sampler is 1-good like Natural.
+func (n *NaturalIndexed) GoodFactor() float64 { return 1 }

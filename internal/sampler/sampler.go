@@ -1,0 +1,153 @@
+// Package sampler implements the paper's three randomized samplers over an
+// admissible pair (H, B) (Section 4.2):
+//
+//   - Natural (Sampler 1) draws a database I uniformly from the natural
+//     sampling space db(B) and reports whether some image covers it;
+//     it is 1-good (Lemma 4.3).
+//   - KL (Sampler 2) draws (i, I) uniformly from the symbolic space S• and
+//     reports whether i is the first image covering I; it is
+//     (|db(B)|/|S•|)-good (Lemma 4.5).
+//   - KLM (Sampler 3) draws from the same space and reports 1/k where k is
+//     the number of images covering I; same goodness, lower variance,
+//     higher per-sample cost (Lemma 4.7).
+//
+// All samplers reuse internal scratch buffers: one instance serves one
+// estimation loop at a time.
+package sampler
+
+import (
+	"cqabench/internal/mt"
+	"cqabench/internal/synopsis"
+)
+
+// Natural is Sampler 1: SampleNatural.
+type Natural struct {
+	pair   *synopsis.Admissible
+	chosen []int32
+}
+
+// NewNatural returns a natural-space sampler for the pair, which must be
+// admissible (Validate'd by the caller; the synopsis builder guarantees it).
+func NewNatural(pair *synopsis.Admissible) *Natural {
+	return &Natural{pair: pair, chosen: make([]int32, pair.NumBlocks())}
+}
+
+// Sample draws I ∈ db(B) uniformly and returns 1 if some H ∈ H satisfies
+// H ⊆ I, else 0. Its expected value is exactly R(H,B).
+func (n *Natural) Sample(src *mt.Source) float64 {
+	for b, sz := range n.pair.BlockSizes {
+		n.chosen[b] = int32(src.Intn(int(sz)))
+	}
+	if n.pair.FirstCover(n.chosen) >= 0 {
+		return 1
+	}
+	return 0
+}
+
+// GoodFactor returns the r for which the sampler is r-good: 1.
+func (n *Natural) GoodFactor() float64 { return 1 }
+
+// Symbolic holds the shared machinery for sampling (i, I) uniformly from
+// the symbolic space S• = {(i, I) : I ∈ I^i}: image i is drawn with
+// probability |I^i|/|S•| via a Walker alias table, then I uniformly from
+// I^i by fixing H_i's members and choosing the remaining blocks uniformly.
+type Symbolic struct {
+	pair   *synopsis.Admissible
+	alias  *mt.Alias
+	weight float64 // |S•| / |db(B)|
+	chosen []int32
+	curIdx int
+}
+
+// NewSymbolic prepares the symbolic sampling space for the pair.
+func NewSymbolic(pair *synopsis.Admissible) *Symbolic {
+	weights := make([]float64, pair.NumImages())
+	for i := range weights {
+		weights[i] = pair.ImageWeight(i)
+	}
+	return &Symbolic{
+		pair:   pair,
+		alias:  mt.NewAlias(weights),
+		weight: pair.SymbolicWeight(),
+		chosen: make([]int32, pair.NumBlocks()),
+	}
+}
+
+// Draw samples (i, I) uniformly from S•, leaving the drawn pair as the
+// sampler's current state, and returns i.
+func (s *Symbolic) Draw(src *mt.Source) int {
+	i := s.alias.Draw(src)
+	for b, sz := range s.pair.BlockSizes {
+		s.chosen[b] = int32(src.Intn(int(sz)))
+	}
+	for _, m := range s.pair.Images[i] {
+		s.chosen[m.Block] = m.Fact
+	}
+	s.curIdx = i
+	return i
+}
+
+// InSet reports whether the current I lies in I^j (i.e. H_j ⊆ I).
+func (s *Symbolic) InSet(j int) bool {
+	return s.pair.Covers(j, s.chosen)
+}
+
+// NumImages returns |H|.
+func (s *Symbolic) NumImages() int { return s.pair.NumImages() }
+
+// Weight returns |S•| / |db(B)|: the factor converting estimates over the
+// symbolic space into R(H,B) (Algorithms 4 and 5 use its reciprocal and
+// itself respectively; we keep everything as ratios of |db(B)| so nothing
+// overflows).
+func (s *Symbolic) Weight() float64 { return s.weight }
+
+// KL is Sampler 2: SampleKL.
+type KL struct {
+	*Symbolic
+}
+
+// NewKL returns the Karp–Luby sampler for the pair.
+func NewKL(pair *synopsis.Admissible) *KL {
+	return &KL{NewSymbolic(pair)}
+}
+
+// Sample draws (i, I) from S• and returns 1 iff no j < i has H_j ⊆ I.
+// Its expected value is Num/|S•| = R(H,B) · |db(B)|/|S•|.
+func (k *KL) Sample(src *mt.Source) float64 {
+	i := k.Draw(src)
+	for j := 0; j < i; j++ {
+		if k.InSet(j) {
+			return 0
+		}
+	}
+	return 1
+}
+
+// GoodFactor returns |db(B)|/|S•|.
+func (k *KL) GoodFactor() float64 { return 1 / k.weight }
+
+// KLM is Sampler 3: SampleKLM.
+type KLM struct {
+	*Symbolic
+}
+
+// NewKLM returns the Karp–Luby–Madras sampler for the pair.
+func NewKLM(pair *synopsis.Admissible) *KLM {
+	return &KLM{NewSymbolic(pair)}
+}
+
+// Sample draws (i, I) from S• and returns 1/k with k = |{j : H_j ⊆ I}|
+// (k ≥ 1 since H_i ⊆ I by construction). Its expected value equals KL's.
+func (k *KLM) Sample(src *mt.Source) float64 {
+	k.Draw(src)
+	cnt := 0
+	for j := 0; j < k.pair.NumImages(); j++ {
+		if k.InSet(j) {
+			cnt++
+		}
+	}
+	return 1 / float64(cnt)
+}
+
+// GoodFactor returns |db(B)|/|S•|.
+func (k *KLM) GoodFactor() float64 { return 1 / k.weight }

@@ -1,0 +1,101 @@
+package scenario
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestExportImportRoundTrip(t *testing.T) {
+	l := testLab(t)
+	w, err := l.NoiseScenario(0.5, 1, []float64{0.3, 0.6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	if err := Export(w, dir); err != nil {
+		t.Fatal(err)
+	}
+	// Two noise levels share no database: two .db files plus schema and
+	// manifest.
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 4 {
+		t.Fatalf("exported %d files, want 4", len(entries))
+	}
+
+	back, err := Import(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Name != w.Name {
+		t.Fatalf("name = %q, want %q", back.Name, w.Name)
+	}
+	if len(back.Pairs) != len(w.Pairs) {
+		t.Fatalf("pairs = %d, want %d", len(back.Pairs), len(w.Pairs))
+	}
+	for i := range w.Pairs {
+		orig, got := w.Pairs[i], back.Pairs[i]
+		if got.Noise != orig.Noise || got.Joins != orig.Joins || got.Target != orig.Target {
+			t.Fatalf("pair %d metadata mismatch: %+v vs %+v", i, got, orig)
+		}
+		if got.DB.NumFacts() != orig.DB.NumFacts() {
+			t.Fatalf("pair %d database size mismatch", i)
+		}
+		if got.Query.NumJoins() != orig.Query.NumJoins() || got.Query.IsBoolean() != orig.Query.IsBoolean() {
+			t.Fatalf("pair %d query mismatch", i)
+		}
+	}
+}
+
+func TestExportDeduplicatesDatabases(t *testing.T) {
+	l := testLab(t)
+	// Balance scenario: all pairs share one noisy database.
+	w, err := l.BalanceScenario(0.4, 1, []float64{0, 0.5, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	if err := Export(w, dir); err != nil {
+		t.Fatal(err)
+	}
+	dbs, err := filepath.Glob(filepath.Join(dir, "*.db"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dbs) != 1 {
+		t.Fatalf("shared database exported %d times", len(dbs))
+	}
+}
+
+func TestExportEmptyWorkload(t *testing.T) {
+	if err := Export(&Workload{}, t.TempDir()); err == nil {
+		t.Fatal("empty export accepted")
+	}
+}
+
+func TestImportErrors(t *testing.T) {
+	dir := t.TempDir()
+	if _, err := Import(dir); err == nil {
+		t.Fatal("missing schema accepted")
+	}
+	os.WriteFile(filepath.Join(dir, "schema.txt"), []byte("relation R(k*, v)\n"), 0o644)
+	if _, err := Import(dir); err == nil {
+		t.Fatal("missing manifest accepted")
+	}
+	os.WriteFile(filepath.Join(dir, "manifest.txt"), []byte("too|few|fields\n"), 0o644)
+	if _, err := Import(dir); err == nil {
+		t.Fatal("malformed manifest accepted")
+	}
+	os.WriteFile(filepath.Join(dir, "manifest.txt"), []byte(""), 0o644)
+	if _, err := Import(dir); err == nil {
+		t.Fatal("empty manifest accepted")
+	}
+	os.WriteFile(filepath.Join(dir, "manifest.txt"),
+		[]byte("missing.db|0.1|0.2|0.3|1|Q(v) :- R(k, v)\n"), 0o644)
+	if _, err := Import(dir); err == nil {
+		t.Fatal("missing database file accepted")
+	}
+}

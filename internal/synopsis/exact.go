@@ -1,0 +1,173 @@
+package synopsis
+
+import (
+	"errors"
+	"fmt"
+	"math/big"
+)
+
+// ErrTooLarge is returned by the exact computations when the instance
+// exceeds the caller's tractability limit.
+var ErrTooLarge = errors.New("synopsis: instance too large for exact computation")
+
+// ExactRatio computes R(H, B) exactly by inclusion–exclusion over the
+// sets I^1, ..., I^n (Lemma 4.1(3) gives R_{D,Σ,Q}(t̄) = R(H,B)):
+//
+//	Num/|db(B)| = Σ_{∅≠S⊆[n]} (−1)^{|S|+1} · [∪_{i∈S} H_i consistent] · Π_{b∈blocks(∪S)} 1/size(b)
+//
+// A subset S contributes iff the union of its images keeps at most one
+// member per block. The runtime is O(2^n · n · |Q|); it refuses instances
+// with n > maxImages (use BruteForceRatio or the approximation schemes
+// beyond that).
+func (a *Admissible) ExactRatio(maxImages int) (float64, error) {
+	if maxImages <= 0 {
+		maxImages = 22
+	}
+	n := len(a.Images)
+	if n == 0 {
+		return 0, nil
+	}
+	if n > maxImages {
+		return 0, fmt.Errorf("%w: |H| = %d > %d", ErrTooLarge, n, maxImages)
+	}
+	total := 0.0
+	// chosen[b] = member fixed for block b, or -1.
+	chosen := make([]int32, len(a.BlockSizes))
+	for subset := uint64(1); subset < uint64(1)<<n; subset++ {
+		for b := range chosen {
+			chosen[b] = -1
+		}
+		consistent := true
+		weight := 1.0
+		bits := 0
+		for i := 0; i < n && consistent; i++ {
+			if subset&(1<<uint(i)) == 0 {
+				continue
+			}
+			bits++
+			for _, m := range a.Images[i] {
+				switch chosen[m.Block] {
+				case -1:
+					chosen[m.Block] = m.Fact
+					weight /= float64(a.BlockSizes[m.Block])
+				case m.Fact:
+					// already fixed compatibly
+				default:
+					consistent = false
+				}
+				if !consistent {
+					break
+				}
+			}
+		}
+		if !consistent {
+			continue
+		}
+		if bits%2 == 1 {
+			total += weight
+		} else {
+			total -= weight
+		}
+	}
+	// Floating-point cancellation can push the result epsilon outside [0,1].
+	if total < 0 {
+		total = 0
+	}
+	if total > 1 {
+		total = 1
+	}
+	return total, nil
+}
+
+// BruteForceRatio computes R(H, B) by enumerating db(B) with an odometer
+// over block member choices. It refuses instances where |db(B)| exceeds
+// limit (default 1<<20). It is the most literal form of the definition and
+// serves as the ground-truth oracle for ExactRatio and the samplers.
+func (a *Admissible) BruteForceRatio(limit int64) (float64, error) {
+	if limit <= 0 {
+		limit = 1 << 20
+	}
+	dbSize := a.DBSize()
+	if dbSize.Cmp(big.NewInt(limit)) > 0 {
+		return 0, fmt.Errorf("%w: |db(B)| = %v > %d", ErrTooLarge, dbSize, limit)
+	}
+	if len(a.Images) == 0 {
+		return 0, nil
+	}
+	nb := len(a.BlockSizes)
+	chosen := make([]int32, nb)
+	covered, total := 0, 0
+	for {
+		total++
+		if a.FirstCover(chosen) >= 0 {
+			covered++
+		}
+		i := 0
+		for ; i < nb; i++ {
+			chosen[i]++
+			if chosen[i] < a.BlockSizes[i] {
+				break
+			}
+			chosen[i] = 0
+		}
+		if i == nb {
+			break
+		}
+	}
+	return float64(covered) / float64(total), nil
+}
+
+// ExactUnionCount computes the numerator |∪_i I^i| of R(H,B) exactly, as
+// a big integer, by inclusion–exclusion (the UnionOfSets problem of
+// Section 4.3). Same |H| limit as ExactRatio.
+func (a *Admissible) ExactUnionCount(maxImages int) (*big.Int, error) {
+	if maxImages <= 0 {
+		maxImages = 22
+	}
+	n := len(a.Images)
+	if n > maxImages {
+		return nil, fmt.Errorf("%w: |H| = %d > %d", ErrTooLarge, n, maxImages)
+	}
+	total := big.NewInt(0)
+	chosen := make([]int32, len(a.BlockSizes))
+	for subset := uint64(1); subset < uint64(1)<<n; subset++ {
+		for b := range chosen {
+			chosen[b] = -1
+		}
+		consistent := true
+		bits := 0
+		for i := 0; i < n && consistent; i++ {
+			if subset&(1<<uint(i)) == 0 {
+				continue
+			}
+			bits++
+			for _, m := range a.Images[i] {
+				switch chosen[m.Block] {
+				case -1:
+					chosen[m.Block] = m.Fact
+				case m.Fact:
+				default:
+					consistent = false
+				}
+				if !consistent {
+					break
+				}
+			}
+		}
+		if !consistent {
+			continue
+		}
+		term := big.NewInt(1)
+		for b, sz := range a.BlockSizes {
+			if chosen[b] == -1 {
+				term.Mul(term, big.NewInt(int64(sz)))
+			}
+		}
+		if bits%2 == 1 {
+			total.Add(total, term)
+		} else {
+			total.Sub(total, term)
+		}
+	}
+	return total, nil
+}

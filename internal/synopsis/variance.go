@@ -1,0 +1,87 @@
+package synopsis
+
+import (
+	"fmt"
+	"math/big"
+)
+
+// SamplerMoments holds the exact first and second moments of the three
+// samplers over an admissible pair, computed by enumerating db(B). The
+// paper's §4.2 discussion of KL vs KLM rests on their variances; these
+// exact values let tests verify the claims analytically instead of
+// empirically.
+type SamplerMoments struct {
+	// RNatural is R(H,B) = E[SampleNatural]; Natural's variance is
+	// R(1-R) since the sampler is 0/1.
+	RNatural float64
+	// MeanSymbolic is Num/|S•| = E[SampleKL] = E[SampleKLM].
+	MeanSymbolic float64
+	// VarKL and VarKLM are the samplers' exact variances.
+	VarKL, VarKLM float64
+}
+
+// VarNatural returns Natural's variance R(1-R).
+func (m SamplerMoments) VarNatural() float64 {
+	return m.RNatural * (1 - m.RNatural)
+}
+
+// ExactMoments enumerates db(B) (bounded by limit; 0 = 1<<20) and
+// computes the exact moments of all three samplers.
+//
+// Derivations: over the symbolic space S• = {(i, I) : H_i ⊆ I}, KL
+// returns 1 exactly on pairs whose i is the first witness of I, so
+// E[KL] = Num/|S•| and, being 0/1, Var[KL] = E(1-E). KLM returns 1/k(I)
+// with k(I) = |{j : H_j ⊆ I}|; each I contributes k(I) pairs, so
+// E[KLM] = Σ_I k(I)·(1/k(I))/|S•| = Num/|S•| and
+// E[KLM²] = Σ_I k(I)·(1/k(I)²)/|S•| = Σ_I (1/k(I))/|S•|.
+func (a *Admissible) ExactMoments(limit int64) (SamplerMoments, error) {
+	if limit <= 0 {
+		limit = 1 << 20
+	}
+	var m SamplerMoments
+	dbSize := a.DBSize()
+	if dbSize.Cmp(big.NewInt(limit)) > 0 {
+		return m, fmt.Errorf("%w: |db(B)| = %v > %d", ErrTooLarge, dbSize, limit)
+	}
+	if len(a.Images) == 0 {
+		return m, nil
+	}
+	nb := len(a.BlockSizes)
+	chosen := make([]int32, nb)
+	var total, covered, num int64
+	var sumInvK float64 // Σ_I 1/k(I) over covered I
+	var symSize int64   // |S•| = Σ_I k(I)
+	for {
+		total++
+		k := a.CoverCount(chosen)
+		if k > 0 {
+			covered++
+			num += 1 // numerator counts covered I once
+			symSize += int64(k)
+			sumInvK += 1 / float64(k)
+		}
+		i := 0
+		for ; i < nb; i++ {
+			chosen[i]++
+			if chosen[i] < a.BlockSizes[i] {
+				break
+			}
+			chosen[i] = 0
+		}
+		if i == nb {
+			break
+		}
+	}
+	m.RNatural = float64(covered) / float64(total)
+	if symSize == 0 {
+		return m, nil
+	}
+	mean := float64(num) / float64(symSize)
+	m.MeanSymbolic = mean
+	// KL is 0/1 valued.
+	m.VarKL = mean * (1 - mean)
+	// KLM: E[X²] = Σ_I (1/k(I)) / |S•|.
+	secondMoment := sumInvK / float64(symSize)
+	m.VarKLM = secondMoment - mean*mean
+	return m, nil
+}

@@ -1,0 +1,119 @@
+package synopsis
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func momentsPair(t *testing.T) *Admissible {
+	t.Helper()
+	pair := &Admissible{
+		BlockSizes: []int32{2, 3, 2},
+		Images: []Image{
+			{{Block: 0, Fact: 0}},
+			{{Block: 0, Fact: 0}, {Block: 1, Fact: 1}},
+			{{Block: 1, Fact: 2}, {Block: 2, Fact: 0}},
+		},
+	}
+	pair.Canonicalize()
+	if err := pair.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return pair
+}
+
+func TestExactMomentsConsistency(t *testing.T) {
+	pair := momentsPair(t)
+	m, err := pair.ExactMoments(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// RNatural must equal the brute-force ratio.
+	bf, err := pair.BruteForceRatio(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(m.RNatural-bf) > 1e-12 {
+		t.Fatalf("RNatural = %v vs brute force %v", m.RNatural, bf)
+	}
+	// MeanSymbolic must equal R * |db(B)| / |S•| (Lemma 4.5).
+	want := bf / pair.SymbolicWeight()
+	if math.Abs(m.MeanSymbolic-want) > 1e-12 {
+		t.Fatalf("MeanSymbolic = %v, want %v", m.MeanSymbolic, want)
+	}
+	if m.VarNatural() < 0 || m.VarKL < 0 || m.VarKLM < 0 {
+		t.Fatalf("negative variance: %+v", m)
+	}
+}
+
+// The paper's §4.2 claim, verified analytically: KLM's variance never
+// exceeds KL's (same mean, KLM averages over witnesses).
+func TestKLMVarianceNeverExceedsKLProperty(t *testing.T) {
+	f := func(seed []byte) bool {
+		pair := randomPair(seed)
+		if pair == nil {
+			return true
+		}
+		m, err := pair.ExactMoments(0)
+		if err != nil {
+			return true
+		}
+		return m.VarKLM <= m.VarKL+1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// With overlapping images the inequality is strict: overlapping witnesses
+// make KL's indicator noisier than KLM's average.
+func TestKLMVarianceStrictlySmallerOnOverlap(t *testing.T) {
+	pair := momentsPair(t)
+	m, err := pair.ExactMoments(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(m.VarKLM < m.VarKL) {
+		t.Fatalf("expected strict inequality: VarKLM=%v VarKL=%v", m.VarKLM, m.VarKL)
+	}
+}
+
+// With pairwise-disjoint images every covered I has exactly one witness:
+// the samplers coincide and so do the variances.
+func TestVariancesEqualOnDisjointImages(t *testing.T) {
+	pair := &Admissible{
+		BlockSizes: []int32{2, 2},
+		Images: []Image{
+			{{Block: 0, Fact: 0}},
+			{{Block: 0, Fact: 1}, {Block: 1, Fact: 0}},
+		},
+	}
+	pair.Canonicalize()
+	if err := pair.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	m, err := pair.ExactMoments(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(m.VarKL-m.VarKLM) > 1e-12 {
+		t.Fatalf("disjoint images should equalize variances: %+v", m)
+	}
+}
+
+func TestExactMomentsLimits(t *testing.T) {
+	big := &Admissible{}
+	for i := 0; i < 64; i++ {
+		big.BlockSizes = append(big.BlockSizes, 4)
+	}
+	big.Images = []Image{{{Block: 0, Fact: 0}}}
+	if _, err := big.ExactMoments(1 << 20); err == nil {
+		t.Fatal("oversized enumeration accepted")
+	}
+	empty := &Admissible{}
+	m, err := empty.ExactMoments(0)
+	if err != nil || m.RNatural != 0 {
+		t.Fatalf("empty pair: %+v, %v", m, err)
+	}
+}

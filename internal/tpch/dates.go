@@ -1,0 +1,53 @@
+package tpch
+
+// Date handling: TPC-H dates span 1992-01-01 .. 1998-12-31. The generator
+// works in day offsets from the epoch and encodes dates as yyyymmdd
+// integers, so generated order/ship dates are valid calendar days and
+// date arithmetic (ship = order + k days) stays meaningful.
+
+// epochYear is the first year of the TPC-H date range.
+const epochYear = 1992
+
+// totalDays is the number of days in 1992-1998 inclusive.
+const totalDays = 2557
+
+var monthDays = [12]int{31, 28, 31, 30, 31, 30, 31, 31, 30, 31, 30, 31}
+
+func isLeap(year int) bool {
+	return year%4 == 0 && (year%100 != 0 || year%400 == 0)
+}
+
+// encodeDate converts a day offset (0 = 1992-01-01) into a yyyymmdd int.
+// Offsets beyond the range wrap modulo the range, so arithmetic like
+// "order date + 120 days" always yields a valid date.
+func encodeDate(offset int) int {
+	offset %= totalDays
+	if offset < 0 {
+		offset += totalDays
+	}
+	year := epochYear
+	for {
+		days := 365
+		if isLeap(year) {
+			days = 366
+		}
+		if offset < days {
+			break
+		}
+		offset -= days
+		year++
+	}
+	month := 0
+	for {
+		days := monthDays[month]
+		if month == 1 && isLeap(year) {
+			days = 29
+		}
+		if offset < days {
+			break
+		}
+		offset -= days
+		month++
+	}
+	return year*10000 + (month+1)*100 + (offset + 1)
+}

@@ -1,0 +1,94 @@
+// Package tpch provides the TPC-H schema (the paper's S_H with its primary
+// keys Σ_H and foreign-key join graph) and a deterministic synthetic data
+// generator standing in for the TPC-H dbgen tool.
+//
+// The schema is the full 8-relation, third-normal-form TPC-H schema with
+// the official column lists and primary keys. The generator produces
+// NULL-free, consistent databases whose join-column distributions follow
+// the TPC-H referential structure (every foreign key hits an existing
+// key), which is the property the paper's noise and query generators rely
+// on; textual columns use compact vocabularies instead of dbgen's grammar
+// (see DESIGN.md §1).
+package tpch
+
+import "cqabench/internal/relation"
+
+// Schema returns the TPC-H schema. Attribute order follows the TPC-H
+// specification; KeyLen encodes the primary keys (key(R) = {1..m}); the
+// foreign keys drive the static query generator's joinable pairs.
+func Schema() *relation.Schema {
+	return relation.MustSchema([]relation.RelDef{
+		{
+			Name:   "region",
+			Attrs:  []string{"r_regionkey", "r_name", "r_comment"},
+			KeyLen: 1,
+		},
+		{
+			Name:   "nation",
+			Attrs:  []string{"n_nationkey", "n_name", "n_regionkey", "n_comment"},
+			KeyLen: 1,
+		},
+		{
+			Name: "supplier",
+			Attrs: []string{
+				"s_suppkey", "s_name", "s_address", "s_nationkey", "s_phone",
+				"s_acctbal", "s_comment",
+			},
+			KeyLen: 1,
+		},
+		{
+			Name: "part",
+			Attrs: []string{
+				"p_partkey", "p_name", "p_mfgr", "p_brand", "p_type", "p_size",
+				"p_container", "p_retailprice", "p_comment",
+			},
+			KeyLen: 1,
+		},
+		{
+			Name: "partsupp",
+			Attrs: []string{
+				"ps_partkey", "ps_suppkey", "ps_availqty", "ps_supplycost",
+				"ps_comment",
+			},
+			KeyLen: 2,
+		},
+		{
+			Name: "customer",
+			Attrs: []string{
+				"c_custkey", "c_name", "c_address", "c_nationkey", "c_phone",
+				"c_acctbal", "c_mktsegment", "c_comment",
+			},
+			KeyLen: 1,
+		},
+		{
+			Name: "orders",
+			Attrs: []string{
+				"o_orderkey", "o_custkey", "o_orderstatus", "o_totalprice",
+				"o_orderdate", "o_orderpriority", "o_clerk", "o_shippriority",
+				"o_comment",
+			},
+			KeyLen: 1,
+		},
+		{
+			Name: "lineitem",
+			Attrs: []string{
+				"l_orderkey", "l_linenumber", "l_partkey", "l_suppkey",
+				"l_quantity", "l_extendedprice", "l_discount", "l_tax",
+				"l_returnflag", "l_linestatus", "l_shipdate", "l_commitdate",
+				"l_receiptdate", "l_shipinstruct", "l_shipmode", "l_comment",
+			},
+			KeyLen: 2,
+		},
+	}, []relation.ForeignKey{
+		{FromRel: "nation", FromCols: []int{2}, ToRel: "region", ToCols: []int{0}},
+		{FromRel: "supplier", FromCols: []int{3}, ToRel: "nation", ToCols: []int{0}},
+		{FromRel: "customer", FromCols: []int{3}, ToRel: "nation", ToCols: []int{0}},
+		{FromRel: "partsupp", FromCols: []int{0}, ToRel: "part", ToCols: []int{0}},
+		{FromRel: "partsupp", FromCols: []int{1}, ToRel: "supplier", ToCols: []int{0}},
+		{FromRel: "orders", FromCols: []int{1}, ToRel: "customer", ToCols: []int{0}},
+		{FromRel: "lineitem", FromCols: []int{0}, ToRel: "orders", ToCols: []int{0}},
+		{FromRel: "lineitem", FromCols: []int{2, 3}, ToRel: "partsupp", ToCols: []int{0, 1}},
+		{FromRel: "lineitem", FromCols: []int{2}, ToRel: "part", ToCols: []int{0}},
+		{FromRel: "lineitem", FromCols: []int{3}, ToRel: "supplier", ToCols: []int{0}},
+	})
+}
