@@ -2,9 +2,16 @@
 
 GO ?= go
 
-.PHONY: all build test test-short vet cover bench fuzz figures examples clean
+.PHONY: all build test test-short vet cover bench fuzz figures examples clean check
 
 all: build vet test
+
+# The CI gate: vet, formatting, and the race-sensitive subset.
+check:
+	$(GO) vet ./...
+	@fmtout=$$(gofmt -l .); if [ -n "$$fmtout" ]; then \
+		echo "gofmt needed on:"; echo "$$fmtout"; exit 1; fi
+	$(GO) test -race ./internal/obs/... ./internal/harness/...
 
 build:
 	$(GO) build ./...

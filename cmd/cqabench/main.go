@@ -47,6 +47,8 @@ func run(args []string) error {
 		return fmt.Errorf("missing subcommand")
 	}
 	switch args[0] {
+	case "run":
+		return cmdRun(args[1:])
 	case "gen":
 		return cmdGen(args[1:])
 	case "noise":
@@ -92,6 +94,7 @@ func usage() {
 	fmt.Fprint(os.Stderr, `cqabench — benchmarking approximate consistent query answering
 
 subcommands:
+  run       measure a scenario family with live telemetry (-metrics-addr, -progress)
   gen       generate a consistent TPC-H or TPC-DS database
   noise     inject query-aware primary-key noise into a database
   answer    approximate the consistent answer of a CQ (Natural/KL/KLM/Cover)
@@ -412,9 +415,17 @@ func cmdFigure(args []string) error {
 	noisep := fs.Float64("noise", 0.5, "fixed noise (figures 2, 4)")
 	joins := fs.Int("joins", 1, "fixed join level (figures 1, 2)")
 	levelsFlag := fs.String("levels", "", "comma-separated x-axis levels (defaults per figure)")
+	metricsAddr := fs.String("metrics-addr", "", "serve /metrics, /metrics.json, expvar and pprof on this address")
+	progress := fs.Bool("progress", false, "stream per-(pair, scheme) progress lines to stderr")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+
+	closeMetrics, err := serveMetricsIfRequested(*metricsAddr)
+	if err != nil {
+		return err
+	}
+	defer closeMetrics()
 
 	labCfg := scenario.DefaultConfig()
 	labCfg.ScaleFactor = *sf
@@ -428,6 +439,9 @@ func cmdFigure(args []string) error {
 		Opts:    cqa.Options{Eps: *eps, Delta: *delta, Seed: 5489},
 		Timeout: *timeout,
 		Schemes: cqa.Schemes,
+	}
+	if *progress {
+		hcfg.Progress = progressPrinter()
 	}
 
 	parseLevels := func(def []float64) []float64 {

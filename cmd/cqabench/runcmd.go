@@ -1,0 +1,203 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"cqabench/internal/cqa"
+	"cqabench/internal/harness"
+	"cqabench/internal/obs"
+	"cqabench/internal/scenario"
+)
+
+// cmdRun is the instrumented harness front-end: it measures one scenario
+// family end to end while exposing live metrics over HTTP
+// (-metrics-addr), streaming per-measurement progress (-progress), and
+// writing a machine-readable metrics snapshot (results/metrics.json by
+// default) when done — the artifact future PRs diff perf trajectories
+// against.
+func cmdRun(args []string) error {
+	fs := flag.NewFlagSet("run", flag.ContinueOnError)
+	scenarioName := fs.String("scenario", "noise", "scenario family: noise, balance or joins")
+	sf := fs.Float64("sf", 0.0005, "TPC-H scale factor")
+	seed := fs.Uint64("seed", 1, "PRNG seed")
+	timeout := fs.Duration("timeout", 10*time.Second, "per (pair, scheme) timeout")
+	eps := fs.Float64("eps", 0.1, "relative error")
+	delta := fs.Float64("delta", 0.25, "failure probability")
+	queries := fs.Int("queries", 2, "queries per join level")
+	balance := fs.Float64("balance", 0, "fixed balance (noise, joins scenarios)")
+	noisep := fs.Float64("noise", 0.5, "fixed noise (balance, joins scenarios)")
+	joins := fs.Int("joins", 1, "fixed join level (noise, balance scenarios)")
+	levelsFlag := fs.String("levels", "", "comma-separated x-axis levels (defaults per scenario)")
+	metricsAddr := fs.String("metrics-addr", "", "serve /metrics, /metrics.json, expvar and pprof on this address (e.g. :9090)")
+	progress := fs.Bool("progress", false, "stream per-(pair, scheme) progress lines to stderr")
+	metricsOut := fs.String("metrics-out", filepath.Join("results", "metrics.json"), "write the final metrics snapshot here (empty = skip)")
+	hold := fs.Duration("hold", 0, "keep serving -metrics-addr for this long after the run")
+	jsonPath := fs.String("json", "", "write the figure (with raw span breakdowns) as JSON")
+	csvPath := fs.String("csv", "", "write raw measurements as CSV")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	closeMetrics, err := serveMetricsIfRequested(*metricsAddr)
+	if err != nil {
+		return err
+	}
+	defer closeMetrics()
+
+	labCfg := scenario.DefaultConfig()
+	labCfg.ScaleFactor = *sf
+	labCfg.Seed = *seed
+	labCfg.QueriesPerJoin = *queries
+	lab, err := scenario.NewLab(labCfg)
+	if err != nil {
+		return err
+	}
+	hcfg := harness.Config{
+		Opts:    cqa.Options{Eps: *eps, Delta: *delta, Seed: 5489},
+		Timeout: *timeout,
+		Schemes: cqa.Schemes,
+	}
+	if *progress {
+		hcfg.Progress = progressPrinter()
+	}
+
+	parseLevels := func(def []float64) []float64 {
+		if *levelsFlag == "" {
+			return def
+		}
+		var out []float64
+		for _, s := range strings.Split(*levelsFlag, ",") {
+			var v float64
+			fmt.Sscanf(strings.TrimSpace(s), "%g", &v)
+			out = append(out, v)
+		}
+		return out
+	}
+
+	var fig *harness.Figure
+	switch *scenarioName {
+	case "noise":
+		w, err := lab.NoiseScenario(*balance, *joins, parseLevels([]float64{0.2, 0.4, 0.6, 0.8, 1.0}))
+		if err != nil {
+			return err
+		}
+		if fig, err = harness.RunNoise(w, hcfg); err != nil {
+			return err
+		}
+		fmt.Print(fig.Table())
+	case "balance":
+		w, err := lab.BalanceScenario(*noisep, *joins, parseLevels([]float64{0, 0.25, 0.5, 0.75, 1.0}))
+		if err != nil {
+			return err
+		}
+		if fig, err = harness.RunBalance(w, hcfg); err != nil {
+			return err
+		}
+		fmt.Print(fig.Table())
+	case "joins":
+		var joinLevels []int
+		for _, lv := range parseLevels([]float64{1, 2, 3}) {
+			joinLevels = append(joinLevels, int(lv))
+		}
+		w, err := lab.JoinsScenario(*noisep, *balance, joinLevels)
+		if err != nil {
+			return err
+		}
+		if fig, err = harness.RunJoins(w, hcfg); err != nil {
+			return err
+		}
+		fmt.Print(fig.ShareTable())
+	default:
+		return fmt.Errorf("run: unknown scenario %q (want noise, balance or joins)", *scenarioName)
+	}
+
+	if *csvPath != "" {
+		if err := writeFile(*csvPath, fig.WriteCSV); err != nil {
+			return err
+		}
+	}
+	if *jsonPath != "" {
+		if err := writeFile(*jsonPath, fig.WriteJSON); err != nil {
+			return err
+		}
+	}
+	if *metricsOut != "" {
+		if err := writeMetricsSnapshot(*metricsOut); err != nil {
+			return err
+		}
+		fmt.Fprintln(os.Stderr, "wrote", *metricsOut)
+	}
+	if *metricsAddr != "" && *hold > 0 {
+		fmt.Fprintf(os.Stderr, "holding metrics endpoint for %s\n", *hold)
+		time.Sleep(*hold)
+	}
+	return nil
+}
+
+// progressPrinter returns a harness progress callback that prints one
+// stderr line per (pair, scheme) measurement, with cumulative sample and
+// timeout totals read back from the obs counters.
+func progressPrinter() func(harness.Measurement) {
+	reg := obs.Default()
+	start := time.Now()
+	n := 0
+	return func(m harness.Measurement) {
+		n++
+		var samples, timeouts int64
+		for _, s := range cqa.Schemes {
+			lbl := obs.L("scheme", s.String())
+			samples += reg.Counter("sampler_samples_total", lbl).Value()
+			timeouts += reg.Counter("harness_timeouts_total", lbl).Value()
+		}
+		status := ""
+		if m.Reason != "" {
+			status = " " + m.Reason
+		}
+		fmt.Fprintf(os.Stderr, "[%7.1fs] #%-3d %-24s scheme=%-7s level=%-6g elapsed=%-12s samples=%-10d%s (total: samples=%d timeouts=%d)\n",
+			time.Since(start).Seconds(), n, m.Pair, m.Scheme, m.Level, m.Elapsed.Round(time.Microsecond), m.Samples, status, samples, timeouts)
+	}
+}
+
+// writeMetricsSnapshot dumps the default registry as JSON, creating the
+// target directory if needed.
+func writeMetricsSnapshot(path string) error {
+	if dir := filepath.Dir(path); dir != "." && dir != "" {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return err
+		}
+	}
+	return writeFile(path, obs.Default().WriteJSON)
+}
+
+func writeFile(path string, write func(w io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// serveMetricsIfRequested is shared by the other harness-driving
+// subcommands (figure, validate): it starts the endpoint when addr is
+// non-empty and returns a closer (a no-op closer otherwise).
+func serveMetricsIfRequested(addr string) (func(), error) {
+	if addr == "" {
+		return func() {}, nil
+	}
+	srv, bound, err := obs.Serve(addr)
+	if err != nil {
+		return nil, fmt.Errorf("metrics endpoint: %w", err)
+	}
+	fmt.Fprintf(os.Stderr, "serving metrics on http://%s/metrics\n", bound)
+	return func() { srv.Close() }, nil
+}

@@ -10,12 +10,14 @@
 package cqa
 
 import (
+	"errors"
 	"fmt"
 	"time"
 
 	"cqabench/internal/cq"
 	"cqabench/internal/estimator"
 	"cqabench/internal/mt"
+	"cqabench/internal/obs"
 	"cqabench/internal/relation"
 	"cqabench/internal/sampler"
 	"cqabench/internal/synopsis"
@@ -96,37 +98,73 @@ type Stats struct {
 	PrepTime   time.Duration // synopsis construction, when done here
 	NumTuples  int
 	NumSamples int64 // alias of Samples kept for CSV column naming
+	// GoodRatio is the samples-weighted mean of the per-tuple good-sample
+	// ratios: the estimator's raw mean in the sampler's own space (before
+	// the |S•|/|db(B)| reweighting for KL/KLM). It quantifies how often a
+	// draw contributes signal — the r-goodness the schemes' sample
+	// complexity depends on.
+	GoodRatio float64
+	// Stages is the wall-time breakdown of the run (sampler.init,
+	// estimate, other), from the run's span tree. Empty for parallel runs,
+	// where per-worker wall times overlap and cannot be summed.
+	Stages []obs.Stage
 }
 
 // ApxRelativeFreq approximates R(H, B) for a single admissible pair with
 // the chosen scheme: the body of ApxRelativeFreq in Algorithm 1 after the
 // preprocessing step has established H ≠ ∅.
 func ApxRelativeFreq(pair *synopsis.Admissible, scheme Scheme, opts Options, src *mt.Source) (float64, int64, error) {
-	var est float64
-	var n int64
-	var err error
+	res, err := apxRelativeFreq(pair, scheme, opts, src, nil)
+	return res.freq, res.samples, err
+}
+
+// tupleResult is one tuple's estimation outcome: the clamped frequency,
+// the draws performed, and the raw sampler-space mean (the good-sample
+// ratio).
+type tupleResult struct {
+	freq    float64
+	samples int64
+	good    float64
+}
+
+// apxRelativeFreq is ApxRelativeFreq with stage attribution: when parent
+// is non-nil, sampler construction and estimation are recorded as child
+// spans.
+func apxRelativeFreq(pair *synopsis.Admissible, scheme Scheme, opts Options, src *mt.Source, parent *obs.Span) (tupleResult, error) {
+	sp := parent.StartChild("sampler.init")
+	var (
+		s      estimator.Sampler
+		space  estimator.SymbolicSpace
+		weight = 1.0
+	)
 	switch scheme {
 	case Natural:
-		var r estimator.Result
-		r, err = estimator.MonteCarlo(sampler.NewNatural(pair), opts.Eps, opts.Delta, src, opts.Budget)
-		est, n = r.Estimate, r.Samples
+		s = sampler.NewNatural(pair)
 	case KL:
-		s := sampler.NewKL(pair)
-		var r estimator.Result
-		r, err = estimator.MonteCarlo(s, opts.Eps, opts.Delta, src, opts.Budget)
-		est, n = r.Estimate*s.Weight(), r.Samples
+		kl := sampler.NewKL(pair)
+		s, weight = kl, kl.Weight()
 	case KLM:
-		s := sampler.NewKLM(pair)
-		var r estimator.Result
-		r, err = estimator.MonteCarlo(s, opts.Eps, opts.Delta, src, opts.Budget)
-		est, n = r.Estimate*s.Weight(), r.Samples
+		klm := sampler.NewKLM(pair)
+		s, weight = klm, klm.Weight()
 	case Cover:
-		var r estimator.Result
-		r, err = estimator.SelfAdjustingCoverage(sampler.NewSymbolic(pair), opts.Eps, opts.Delta, src, opts.Budget)
-		est, n = r.Estimate, r.Samples
+		space = sampler.NewSymbolic(pair)
 	default:
-		return 0, 0, fmt.Errorf("cqa: unknown scheme %v", scheme)
+		sp.End()
+		return tupleResult{}, fmt.Errorf("cqa: unknown scheme %v", scheme)
 	}
+	sp.End()
+
+	sp = parent.StartChild("estimate")
+	var r estimator.Result
+	var err error
+	if space != nil {
+		r, err = estimator.SelfAdjustingCoverage(space, opts.Eps, opts.Delta, src, opts.Budget)
+	} else {
+		r, err = estimator.MonteCarlo(s, opts.Eps, opts.Delta, src, opts.Budget)
+	}
+	sp.End()
+
+	est := r.Estimate * weight
 	// A randomized estimate of a ratio can stray epsilon outside [0, 1];
 	// clamp, since R(H,B) is a probability by definition.
 	if est > 1 {
@@ -135,31 +173,59 @@ func ApxRelativeFreq(pair *synopsis.Admissible, scheme Scheme, opts Options, src
 	if est < 0 {
 		est = 0
 	}
-	return est, n, err
+	return tupleResult{freq: est, samples: r.Samples, good: r.Estimate}, err
+}
+
+// recordRunMetrics publishes one scheme run's telemetry into the default
+// registry. Called on both completed and failed (budget-exhausted) runs.
+func recordRunMetrics(scheme Scheme, stats Stats, err error) {
+	r := obs.Default()
+	lbl := obs.L("scheme", scheme.String())
+	r.Histogram("cqa_scheme_latency_seconds", lbl).Observe(stats.Elapsed.Seconds())
+	r.Counter("sampler_samples_total", lbl).Add(stats.Samples)
+	r.Gauge("sampler_good_ratio", lbl).Set(stats.GoodRatio)
+	switch {
+	case err == nil:
+		r.Counter("cqa_runs_total", lbl).Inc()
+	case errors.Is(err, estimator.ErrBudget):
+		r.Counter("cqa_budget_exhausted_total", lbl).Inc()
+	default:
+		r.Counter("cqa_errors_total", lbl).Inc()
+	}
 }
 
 // ApxAnswersFromSet runs ApxCQA[scheme] over a precomputed synopsis set:
 // one relative-frequency approximation per answer tuple. This is the
 // measured phase of the paper's experiments (preprocessing excluded).
 func ApxAnswersFromSet(set *synopsis.Set, scheme Scheme, opts Options) ([]TupleFreq, Stats, error) {
-	start := time.Now()
+	root := obs.NewSpan("cqa." + scheme.String())
 	src := mt.New(opts.Seed)
 	out := make([]TupleFreq, 0, len(set.Entries))
 	var stats Stats
+	var goodSum float64 // per-tuple good ratios weighted by sample count
+	finish := func(err error) {
+		root.End()
+		stats.Elapsed = root.Duration()
+		stats.Stages = root.Stages()
+		stats.NumSamples = stats.Samples
+		if stats.Samples > 0 {
+			stats.GoodRatio = goodSum / float64(stats.Samples)
+		}
+		recordRunMetrics(scheme, stats, err)
+	}
 	for i := range set.Entries {
 		e := &set.Entries[i]
-		p, n, err := ApxRelativeFreq(e.Pair, scheme, opts, src)
-		stats.Samples += n
+		res, err := apxRelativeFreq(e.Pair, scheme, opts, src, root)
+		stats.Samples += res.samples
+		goodSum += res.good * float64(res.samples)
 		if err != nil {
-			stats.Elapsed = time.Since(start)
-			stats.NumSamples = stats.Samples
+			finish(err)
 			return nil, stats, fmt.Errorf("cqa: tuple %d: %w", i, err)
 		}
-		out = append(out, TupleFreq{Tuple: e.Tuple, Freq: p})
+		out = append(out, TupleFreq{Tuple: e.Tuple, Freq: res.freq})
 	}
-	stats.Elapsed = time.Since(start)
 	stats.NumTuples = len(out)
-	stats.NumSamples = stats.Samples
+	finish(nil)
 	return out, stats, nil
 }
 

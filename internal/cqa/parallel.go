@@ -23,7 +23,7 @@ func ApxAnswersParallel(set *synopsis.Set, scheme Scheme, opts Options, workers 
 	start := time.Now()
 	n := len(set.Entries)
 	out := make([]TupleFreq, n)
-	sampleCounts := make([]int64, n)
+	results := make([]tupleResult, n)
 	errs := make([]error, n)
 
 	var wg sync.WaitGroup
@@ -37,9 +37,9 @@ func ApxAnswersParallel(set *synopsis.Set, scheme Scheme, opts Options, workers 
 				// Deterministic per-tuple stream: the same tuple always
 				// sees the same randomness, whatever the worker count.
 				src := mt.New(opts.Seed + uint64(i)*0x9E3779B97F4A7C15)
-				p, cnt, err := ApxRelativeFreq(e.Pair, scheme, opts, src)
-				out[i] = TupleFreq{Tuple: e.Tuple, Freq: p}
-				sampleCounts[i] = cnt
+				res, err := apxRelativeFreq(e.Pair, scheme, opts, src, nil)
+				out[i] = TupleFreq{Tuple: e.Tuple, Freq: res.freq}
+				results[i] = res
 				errs[i] = err
 			}
 		}()
@@ -51,16 +51,26 @@ func ApxAnswersParallel(set *synopsis.Set, scheme Scheme, opts Options, workers 
 	wg.Wait()
 
 	var stats Stats
+	var goodSum float64
+	var firstErr error
+	firstErrTuple := -1
 	for i := 0; i < n; i++ {
-		stats.Samples += sampleCounts[i]
-		if errs[i] != nil {
-			stats.Elapsed = time.Since(start)
-			stats.NumSamples = stats.Samples
-			return nil, stats, fmt.Errorf("cqa: tuple %d: %w", i, errs[i])
+		stats.Samples += results[i].samples
+		goodSum += results[i].good * float64(results[i].samples)
+		if errs[i] != nil && firstErr == nil {
+			firstErr, firstErrTuple = errs[i], i
 		}
 	}
 	stats.Elapsed = time.Since(start)
-	stats.NumTuples = n
 	stats.NumSamples = stats.Samples
+	if stats.Samples > 0 {
+		stats.GoodRatio = goodSum / float64(stats.Samples)
+	}
+	// Per-worker wall times overlap, so no Stages here (see Stats).
+	recordRunMetrics(scheme, stats, firstErr)
+	if firstErr != nil {
+		return nil, stats, fmt.Errorf("cqa: tuple %d: %w", firstErrTuple, firstErr)
+	}
+	stats.NumTuples = n
 	return out, stats, nil
 }

@@ -5,6 +5,7 @@ import (
 	"math"
 
 	"cqabench/internal/mt"
+	"cqabench/internal/obs"
 )
 
 // SymbolicSpace is the view of the symbolic sampling space S• that the
@@ -68,6 +69,10 @@ outer:
 	}
 	// |∪| ≈ (total/trials) · |S•| / m; normalize by |db(B)|.
 	est := float64(total) * space.Weight() / (float64(m) * float64(trials))
+	r := obs.Default()
+	r.Counter("estimator_coverage_runs_total").Inc()
+	r.Counter("estimator_coverage_steps_total").Add(bt.samples)
+	r.Counter("estimator_coverage_trials_total").Add(trials)
 	return Result{Estimate: est, Samples: bt.samples}, nil
 }
 

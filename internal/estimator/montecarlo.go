@@ -21,6 +21,7 @@ import (
 	"time"
 
 	"cqabench/internal/mt"
+	"cqabench/internal/obs"
 )
 
 // Sampler produces one random draw in [0, 1]. All samplers in
@@ -155,11 +156,23 @@ func MonteCarlo(s Sampler, eps, delta float64, src *mt.Source, budget Budget) (R
 		}
 		sum += s.Sample(src)
 	}
-	return Result{
+	res := Result{
 		Estimate: sum / float64(n3),
 		Samples:  bt.samples,
 		Phases:   [3]int64{phase1, phase2, bt.samples - phase1 - phase2},
-	}, nil
+	}
+	recordMCMetrics(res)
+	return res, nil
+}
+
+// recordMCMetrics publishes one completed 𝒜𝒜 run's per-phase sample
+// counts (the Monte-Carlo iteration telemetry).
+func recordMCMetrics(res Result) {
+	r := obs.Default()
+	r.Counter("estimator_mc_runs_total").Inc()
+	r.Counter("estimator_mc_samples_total", obs.L("phase", "stopping")).Add(res.Phases[0])
+	r.Counter("estimator_mc_samples_total", obs.L("phase", "variance")).Add(res.Phases[1])
+	r.Counter("estimator_mc_samples_total", obs.L("phase", "final")).Add(res.Phases[2])
 }
 
 // FixedSamples estimates E[Sample] with a sample count fixed up front from

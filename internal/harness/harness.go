@@ -18,6 +18,7 @@ import (
 
 	"cqabench/internal/cqa"
 	"cqabench/internal/estimator"
+	"cqabench/internal/obs"
 	"cqabench/internal/scenario"
 	"cqabench/internal/synopsis"
 )
@@ -30,6 +31,9 @@ type Config struct {
 	Timeout time.Duration
 	// Schemes selects which schemes to run (default: all four).
 	Schemes []cqa.Scheme
+	// Progress, if set, is called after every (pair, scheme) measurement;
+	// the CLI's -progress flag uses it to stream status lines to stderr.
+	Progress func(Measurement)
 }
 
 // DefaultConfig mirrors the paper's experimental setting with a short
@@ -52,6 +56,15 @@ type Measurement struct {
 	Samples  int64
 	Tuples   int
 	TimedOut bool
+	// Reason distinguishes failure modes: "" for a completed run,
+	// "timeout" when the per-(pair, scheme) budget expired. Timed-out
+	// measurements report zero Samples/Prep — the partial counts of an
+	// aborted invocation are not comparable to completed ones.
+	Reason string
+	// Stages is the span breakdown of Elapsed into pipeline stages
+	// (sampler.init / estimate / other); the stage durations always sum
+	// to Elapsed exactly.
+	Stages []obs.Stage
 }
 
 // Point aggregates the measurements of one scheme at one level.
@@ -89,9 +102,13 @@ func Run(w *scenario.Workload, cfg Config, level func(scenario.Pair) float64) (*
 		schemes = cqa.Schemes
 	}
 	fig := &Figure{Title: w.Name, XLabel: "level"}
+	reg := obs.Default()
 	perScheme := make(map[cqa.Scheme]map[float64][]Measurement)
 	for _, s := range schemes {
 		perScheme[s] = make(map[float64][]Measurement)
+		// Eager registration: the timeout counters must be scrapeable (at
+		// zero) even before the first timeout occurs.
+		reg.Counter("harness_timeouts_total", obs.L("scheme", s.String()))
 	}
 	for _, pair := range w.Pairs {
 		prepStart := time.Now()
@@ -126,9 +143,20 @@ func Run(w *scenario.Workload, cfg Config, level func(scenario.Pair) float64) (*
 				}
 				m.TimedOut = true
 				m.Elapsed = cfg.Timeout
+				// An aborted invocation's partial sample/prep figures are
+				// not comparable to completed runs; report zeros and a
+				// distinct reason instead.
+				m.Samples = 0
+				m.Prep = 0
+				m.Reason = "timeout"
+				reg.Counter("harness_timeouts_total", obs.L("scheme", s.String())).Inc()
 			}
+			m.Stages = stagesForElapsed(stats.Stages, m.Elapsed)
 			fig.Raw = append(fig.Raw, m)
 			perScheme[s][lv] = append(perScheme[s][lv], m)
+			if cfg.Progress != nil {
+				cfg.Progress(m)
+			}
 		}
 	}
 	for _, s := range schemes {
@@ -158,6 +186,45 @@ func Run(w *scenario.Workload, cfg Config, level func(scenario.Pair) float64) (*
 		fig.Series = append(fig.Series, series)
 	}
 	return fig, nil
+}
+
+// stagesForElapsed fits a run's span stages to the measurement's
+// Elapsed so the breakdown always sums to it exactly: harness-side
+// overhead goes into "other", and a timed-out run (whose Elapsed is the
+// nominal timeout, not the true wall time) is rescaled proportionally.
+func stagesForElapsed(stages []obs.Stage, elapsed time.Duration) []obs.Stage {
+	if len(stages) == 0 || elapsed <= 0 {
+		return nil
+	}
+	out := append([]obs.Stage(nil), stages...)
+	var sum time.Duration
+	for _, s := range out {
+		sum += s.Dur
+	}
+	switch {
+	case sum < elapsed:
+		rest := elapsed - sum
+		if last := len(out) - 1; out[last].Name == "other" {
+			out[last].Dur += rest
+		} else {
+			out = append(out, obs.Stage{Name: "other", Dur: rest, Count: 1})
+		}
+	case sum > elapsed:
+		var scaled time.Duration
+		for i := range out {
+			out[i].Dur = time.Duration(float64(out[i].Dur) * float64(elapsed) / float64(sum))
+			scaled += out[i].Dur
+		}
+		// Rounding residue lands on the largest stage.
+		maxI := 0
+		for i := range out {
+			if out[i].Dur > out[maxI].Dur {
+				maxI = i
+			}
+		}
+		out[maxI].Dur += elapsed - scaled
+	}
+	return out
 }
 
 // RunNoise produces a Noise[balance, joins] figure: x-axis = noise %.

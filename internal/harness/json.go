@@ -9,11 +9,12 @@ import (
 // plotting tools (the paper's plots are matplotlib; this is the
 // interchange point).
 type figureJSON struct {
-	Title     string       `json:"title"`
-	XLabel    string       `json:"x_label"`
-	Series    []seriesJSON `json:"series"`
-	PrepNanos []int64      `json:"prep_ns,omitempty"`
-	Balances  []float64    `json:"balances,omitempty"`
+	Title     string            `json:"title"`
+	XLabel    string            `json:"x_label"`
+	Series    []seriesJSON      `json:"series"`
+	PrepNanos []int64           `json:"prep_ns,omitempty"`
+	Balances  []float64         `json:"balances,omitempty"`
+	Raw       []measurementJSON `json:"raw,omitempty"`
 }
 
 type seriesJSON struct {
@@ -28,10 +29,31 @@ type pointJSON struct {
 	Count    int     `json:"count"`
 }
 
+// measurementJSON carries one raw (pair, scheme) measurement including
+// its span breakdown: the stage durations sum to elapsed_ns exactly.
+type measurementJSON struct {
+	Pair        string      `json:"pair"`
+	Scheme      string      `json:"scheme"`
+	Level       float64     `json:"level"`
+	ElapsedNano int64       `json:"elapsed_ns"`
+	PrepNano    int64       `json:"prep_ns"`
+	Samples     int64       `json:"samples"`
+	Tuples      int         `json:"tuples"`
+	TimedOut    bool        `json:"timed_out,omitempty"`
+	Reason      string      `json:"reason,omitempty"`
+	Stages      []stageJSON `json:"stages,omitempty"`
+}
+
+type stageJSON struct {
+	Name    string `json:"name"`
+	DurNano int64  `json:"dur_ns"`
+	Count   int    `json:"count,omitempty"`
+}
+
 // WriteJSON emits the aggregated figure (series of per-level means with
-// timeout counts, preprocessing times, achieved balances) as indented
-// JSON. Raw per-pair measurements are the CSV's job; this is the plotted
-// shape.
+// timeout counts, preprocessing times, achieved balances) together with
+// the raw per-(pair, scheme) measurements and their per-stage span
+// breakdowns, as indented JSON.
 func (f *Figure) WriteJSON(w io.Writer) error {
 	out := figureJSON{Title: f.Title, XLabel: f.XLabel}
 	for _, s := range f.Series {
@@ -50,6 +72,23 @@ func (f *Figure) WriteJSON(w io.Writer) error {
 		out.PrepNanos = append(out.PrepNanos, p.Nanoseconds())
 	}
 	out.Balances = f.Balances
+	for _, m := range f.Raw {
+		mj := measurementJSON{
+			Pair:        m.Pair,
+			Scheme:      m.Scheme.String(),
+			Level:       m.Level,
+			ElapsedNano: m.Elapsed.Nanoseconds(),
+			PrepNano:    m.Prep.Nanoseconds(),
+			Samples:     m.Samples,
+			Tuples:      m.Tuples,
+			TimedOut:    m.TimedOut,
+			Reason:      m.Reason,
+		}
+		for _, st := range m.Stages {
+			mj.Stages = append(mj.Stages, stageJSON{Name: st.Name, DurNano: st.Dur.Nanoseconds(), Count: st.Count})
+		}
+		out.Raw = append(out.Raw, mj)
+	}
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	return enc.Encode(out)

@@ -1,0 +1,150 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+)
+
+// jsonCounter, jsonGauge and jsonHistogram are the stable JSON export
+// shapes (Registry.WriteJSON). Label maps marshal with sorted keys, so
+// the output is deterministic for a deterministic run.
+type jsonCounter struct {
+	Name   string            `json:"name"`
+	Labels map[string]string `json:"labels,omitempty"`
+	Value  int64             `json:"value"`
+}
+
+type jsonGauge struct {
+	Name   string            `json:"name"`
+	Labels map[string]string `json:"labels,omitempty"`
+	Value  float64           `json:"value"`
+}
+
+type jsonHistogram struct {
+	Name   string            `json:"name"`
+	Labels map[string]string `json:"labels,omitempty"`
+	Count  uint64            `json:"count"`
+	Sum    float64           `json:"sum"`
+	Min    float64           `json:"min"`
+	Max    float64           `json:"max"`
+	Mean   float64           `json:"mean"`
+	P50    float64           `json:"p50"`
+	P95    float64           `json:"p95"`
+	P99    float64           `json:"p99"`
+}
+
+type jsonExport struct {
+	Counters   []jsonCounter   `json:"counters,omitempty"`
+	Gauges     []jsonGauge     `json:"gauges,omitempty"`
+	Histograms []jsonHistogram `json:"histograms,omitempty"`
+}
+
+func labelMap(labels []Label) map[string]string {
+	if len(labels) == 0 {
+		return nil
+	}
+	m := make(map[string]string, len(labels))
+	for _, l := range labels {
+		m[l.Key] = l.Value
+	}
+	return m
+}
+
+// WriteJSON emits every registered metric as indented JSON, sorted by
+// (name, labels). Histograms export their count/sum/min/max/mean and the
+// p50/p95/p99 summary rather than raw buckets.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	var out jsonExport
+	for _, e := range r.snapshot() {
+		switch e.kind {
+		case counterKind:
+			out.Counters = append(out.Counters, jsonCounter{
+				Name: e.name, Labels: labelMap(e.labels), Value: e.counter.Value(),
+			})
+		case gaugeKind:
+			out.Gauges = append(out.Gauges, jsonGauge{
+				Name: e.name, Labels: labelMap(e.labels), Value: e.gauge.Value(),
+			})
+		case histogramKind:
+			s := e.hist.Snapshot()
+			out.Histograms = append(out.Histograms, jsonHistogram{
+				Name: e.name, Labels: labelMap(e.labels),
+				Count: s.Count, Sum: s.Sum, Min: s.Min, Max: s.Max, Mean: s.Mean(),
+				P50: s.Quantile(0.50), P95: s.Quantile(0.95), P99: s.Quantile(0.99),
+			})
+		}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+func promFloat(v float64) string {
+	if math.IsInf(v, 1) {
+		return "+Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// promLabels renders a label set plus an optional extra label (used for
+// the histogram "le" bound) in exposition format.
+func promLabels(labels []Label, extraKey, extraVal string) string {
+	if len(labels) == 0 && extraKey == "" {
+		return ""
+	}
+	out := "{"
+	for i, l := range labels {
+		if i > 0 {
+			out += ","
+		}
+		out += fmt.Sprintf("%s=%q", l.Key, l.Value)
+	}
+	if extraKey != "" {
+		if len(labels) > 0 {
+			out += ","
+		}
+		out += fmt.Sprintf("%s=%q", extraKey, extraVal)
+	}
+	return out + "}"
+}
+
+// WritePrometheus emits every registered metric in the Prometheus text
+// exposition format (version 0.0.4). Histograms emit cumulative
+// non-empty buckets plus the +Inf bucket, _sum and _count.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	lastType := map[string]bool{} // names whose # TYPE line was written
+	for _, e := range r.snapshot() {
+		if !lastType[e.name] {
+			if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", e.name, e.kind); err != nil {
+				return err
+			}
+			lastType[e.name] = true
+		}
+		var err error
+		switch e.kind {
+		case counterKind:
+			_, err = fmt.Fprintf(w, "%s%s %d\n", e.name, promLabels(e.labels, "", ""), e.counter.Value())
+		case gaugeKind:
+			_, err = fmt.Fprintf(w, "%s%s %s\n", e.name, promLabels(e.labels, "", ""), promFloat(e.gauge.Value()))
+		case histogramKind:
+			s := e.hist.Snapshot()
+			for _, b := range s.Buckets() {
+				if _, err = fmt.Fprintf(w, "%s_bucket%s %d\n",
+					e.name, promLabels(e.labels, "le", promFloat(b.UpperBound)), b.Count); err != nil {
+					return err
+				}
+			}
+			if _, err = fmt.Fprintf(w, "%s_sum%s %s\n", e.name, promLabels(e.labels, "", ""), promFloat(s.Sum)); err != nil {
+				return err
+			}
+			_, err = fmt.Fprintf(w, "%s_count%s %d\n", e.name, promLabels(e.labels, "", ""), s.Count)
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,62 @@
+package obs
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// goldenRegistry builds a registry with fully deterministic contents.
+func goldenRegistry() *Registry {
+	r := NewRegistry()
+	r.Counter("sampler_samples_total", L("scheme", "KLM")).Add(1234)
+	r.Counter("sampler_samples_total", L("scheme", "Natural")).Add(42)
+	r.Counter("harness_timeouts_total", L("scheme", "Cover")).Inc()
+	r.Gauge("sampler_good_ratio", L("scheme", "KLM")).Set(0.625)
+	h := r.Histogram("cqa_scheme_latency_seconds", L("scheme", "KLM"))
+	for _, v := range []float64{0.001, 0.001, 0.002, 0.004, 0.032} {
+		h.Observe(v)
+	}
+	return r
+}
+
+func checkGolden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (run with -update): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("%s mismatch:\n--- got ---\n%s\n--- want ---\n%s", name, got, want)
+	}
+}
+
+func TestWriteJSONGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := goldenRegistry().WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "export.json.golden", buf.Bytes())
+}
+
+func TestWritePrometheusGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := goldenRegistry().WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "export.prom.golden", buf.Bytes())
+}

@@ -1,0 +1,105 @@
+package obs
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// TestQuantileAgainstSort checks histogram quantiles against a
+// brute-force sorted slice: a log-bucket quantile must be within one
+// bucket's relative width (10^(1/20) ≈ 12%) of the exact order
+// statistic.
+func TestQuantileAgainstSort(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	dists := map[string]func() float64{
+		"uniform":   func() float64 { return rng.Float64() },
+		"exp":       func() float64 { return rng.ExpFloat64() * 1e-3 },
+		"lognormal": func() float64 { return math.Exp(rng.NormFloat64() * 2) },
+	}
+	for name, draw := range dists {
+		t.Run(name, func(t *testing.T) {
+			h := newHistogram()
+			vals := make([]float64, 0, 5000)
+			for i := 0; i < 5000; i++ {
+				v := draw()
+				vals = append(vals, v)
+				h.Observe(v)
+			}
+			sort.Float64s(vals)
+			s := h.Snapshot()
+			for _, q := range []float64{0.01, 0.25, 0.5, 0.9, 0.95, 0.99} {
+				rank := int(math.Ceil(q*float64(len(vals)))) - 1
+				exact := vals[rank]
+				got := s.Quantile(q)
+				rel := math.Abs(got-exact) / exact
+				if rel > math.Pow(10, 1.0/histBucketsPerDecade)-1 {
+					t.Errorf("q=%g: got %g, exact %g (rel err %.3f)", q, got, exact, rel)
+				}
+			}
+			if s.Min != vals[0] || s.Max != vals[len(vals)-1] {
+				t.Errorf("min/max: got %g/%g, want %g/%g", s.Min, s.Max, vals[0], vals[len(vals)-1])
+			}
+			var sum float64
+			for _, v := range vals {
+				sum += v
+			}
+			if math.Abs(s.Sum-sum) > 1e-6*math.Abs(sum) {
+				t.Errorf("sum: got %g, want %g", s.Sum, sum)
+			}
+		})
+	}
+}
+
+func TestQuantileEdgeCases(t *testing.T) {
+	var empty HistSnapshot
+	if got := empty.Quantile(0.5); got != 0 {
+		t.Errorf("empty quantile: got %g, want 0", got)
+	}
+	h := newHistogram()
+	h.Observe(3.5)
+	s := h.Snapshot()
+	for _, q := range []float64{0, 0.5, 1} {
+		if got := s.Quantile(q); got != 3.5 {
+			t.Errorf("single-value q=%g: got %g, want 3.5", q, got)
+		}
+	}
+	// Underflow and overflow values must be clamped to observations.
+	h2 := newHistogram()
+	h2.Observe(0)    // underflow bucket
+	h2.Observe(1e13) // overflow bucket
+	s2 := h2.Snapshot()
+	if got := s2.Quantile(0.25); got != 0 {
+		t.Errorf("underflow quantile: got %g, want 0", got)
+	}
+	if got := s2.Quantile(0.99); got != 1e13 {
+		t.Errorf("overflow quantile: got %g, want 1e13", got)
+	}
+	// NaN observations are dropped.
+	h3 := newHistogram()
+	h3.Observe(math.NaN())
+	if h3.Snapshot().Count != 0 {
+		t.Error("NaN observation was counted")
+	}
+}
+
+func TestBucketsCumulative(t *testing.T) {
+	h := newHistogram()
+	for _, v := range []float64{0.001, 0.001, 0.5, 2, 1e13} {
+		h.Observe(v)
+	}
+	bs := h.Snapshot().Buckets()
+	if len(bs) == 0 {
+		t.Fatal("no buckets")
+	}
+	last := bs[len(bs)-1]
+	if !math.IsInf(last.UpperBound, 1) || last.Count != 5 {
+		t.Errorf("final bucket: got le=%g count=%d, want +Inf count=5", last.UpperBound, last.Count)
+	}
+	for i := 1; i < len(bs); i++ {
+		if bs[i].Count < bs[i-1].Count || bs[i].UpperBound <= bs[i-1].UpperBound {
+			t.Errorf("bucket %d not cumulative/increasing: %+v after %+v", i, bs[i], bs[i-1])
+		}
+	}
+}

@@ -1,0 +1,82 @@
+package obs
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestConcurrentIncrements hammers one counter, one gauge and one
+// histogram from many goroutines; run under -race this doubles as the
+// package's race test, and the final counts must be exact.
+func TestConcurrentIncrements(t *testing.T) {
+	r := NewRegistry()
+	const workers = 8
+	const perWorker = 10000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				// Resolve through the registry on purpose: the lookup path
+				// must be concurrency-safe too.
+				r.Counter("c_total", L("worker", "shared")).Inc()
+				r.Gauge("g").Set(float64(i))
+				r.Histogram("h_seconds").Observe(float64(i) * 1e-6)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := r.Counter("c_total", L("worker", "shared")).Value(); got != workers*perWorker {
+		t.Errorf("counter: got %d, want %d", got, workers*perWorker)
+	}
+	if got := r.Histogram("h_seconds").Snapshot().Count; got != workers*perWorker {
+		t.Errorf("histogram count: got %d, want %d", got, workers*perWorker)
+	}
+}
+
+func TestLabelIdentity(t *testing.T) {
+	r := NewRegistry()
+	// Label order must not matter.
+	a := r.Counter("x_total", L("a", "1"), L("b", "2"))
+	b := r.Counter("x_total", L("b", "2"), L("a", "1"))
+	if a != b {
+		t.Error("label order produced distinct counters")
+	}
+	c := r.Counter("x_total", L("a", "1"), L("b", "3"))
+	if a == c {
+		t.Error("different label values shared a counter")
+	}
+	if u := r.Counter("x_total"); u == a {
+		t.Error("unlabeled metric aliased a labeled one")
+	}
+}
+
+func TestKindMismatchPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("m")
+	defer func() {
+		if recover() == nil {
+			t.Error("requesting a counter as a gauge did not panic")
+		}
+	}()
+	r.Gauge("m")
+}
+
+func TestDefaultHelpers(t *testing.T) {
+	Default().Reset()
+	defer Default().Reset()
+	Inc("t_total")
+	Add("t_total", 2)
+	Set("t_gauge", 1.5)
+	Observe("t_hist", 0.25)
+	if got := Default().Counter("t_total").Value(); got != 3 {
+		t.Errorf("counter: got %d, want 3", got)
+	}
+	if got := Default().Gauge("t_gauge").Value(); got != 1.5 {
+		t.Errorf("gauge: got %g, want 1.5", got)
+	}
+	if got := Default().Histogram("t_hist").Snapshot().Count; got != 1 {
+		t.Errorf("histogram: got %d observations, want 1", got)
+	}
+}

@@ -1,0 +1,163 @@
+package obs
+
+import (
+	"context"
+	"time"
+)
+
+// Span attributes wall time to one named stage of the pipeline. Spans
+// nest: child spans started from a parent account for portions of the
+// parent's duration, and Stages/Tree aggregate them afterwards.
+//
+// All methods are nil-safe, so instrumented code can run untraced by
+// passing a nil span.
+type Span struct {
+	name     string
+	start    time.Time
+	end      time.Time
+	children []*Span
+}
+
+// NewSpan starts a root span.
+func NewSpan(name string) *Span {
+	return &Span{name: name, start: time.Now()}
+}
+
+// StartChild starts a nested span. On a nil receiver it returns nil, so
+// call sites need no tracing-enabled check.
+func (s *Span) StartChild(name string) *Span {
+	if s == nil {
+		return nil
+	}
+	c := &Span{name: name, start: time.Now()}
+	s.children = append(s.children, c)
+	return c
+}
+
+// End marks the span finished. Calling End twice keeps the first end
+// time; Duration before End measures up to now.
+func (s *Span) End() {
+	if s == nil || !s.end.IsZero() {
+		return
+	}
+	s.end = time.Now()
+}
+
+// Name returns the span's stage name ("" on nil).
+func (s *Span) Name() string {
+	if s == nil {
+		return ""
+	}
+	return s.name
+}
+
+// Duration returns the span's wall time so far (or total, once ended).
+func (s *Span) Duration() time.Duration {
+	if s == nil {
+		return 0
+	}
+	if s.end.IsZero() {
+		return time.Since(s.start)
+	}
+	return s.end.Sub(s.start)
+}
+
+// Stage is an aggregated view of a span's direct children: all children
+// with the same name merge into one stage.
+type Stage struct {
+	Name  string
+	Dur   time.Duration
+	Count int
+}
+
+// Stages merges the span's direct children by name, in first-start
+// order, and appends an "other" stage holding the span's own time not
+// covered by any child. Returns nil for a childless or nil span.
+func (s *Span) Stages() []Stage {
+	if s == nil || len(s.children) == 0 {
+		return nil
+	}
+	idx := make(map[string]int)
+	var out []Stage
+	var covered time.Duration
+	for _, c := range s.children {
+		d := c.Duration()
+		covered += d
+		if i, ok := idx[c.name]; ok {
+			out[i].Dur += d
+			out[i].Count++
+			continue
+		}
+		idx[c.name] = len(out)
+		out = append(out, Stage{Name: c.name, Dur: d, Count: 1})
+	}
+	if rest := s.Duration() - covered; rest > 0 {
+		out = append(out, Stage{Name: "other", Dur: rest, Count: 1})
+	}
+	return out
+}
+
+// Node is the exportable span tree: name, duration in nanoseconds, and
+// aggregated children (merged by name, with Count occurrences).
+type Node struct {
+	Name     string `json:"name"`
+	DurNanos int64  `json:"dur_ns"`
+	Count    int    `json:"count,omitempty"`
+	Children []Node `json:"children,omitempty"`
+}
+
+// Tree renders the span as an aggregated tree: at every level, sibling
+// spans with the same name merge (durations add, counts accumulate, and
+// their children merge recursively).
+func (s *Span) Tree() Node {
+	if s == nil {
+		return Node{}
+	}
+	n := Node{Name: s.name, DurNanos: s.Duration().Nanoseconds(), Count: 1}
+	n.Children = mergeChildren(s.children)
+	return n
+}
+
+func mergeChildren(spans []*Span) []Node {
+	if len(spans) == 0 {
+		return nil
+	}
+	idx := make(map[string]int)
+	var out []Node
+	grouped := make(map[string][]*Span)
+	for _, c := range spans {
+		if _, ok := idx[c.name]; !ok {
+			idx[c.name] = len(out)
+			out = append(out, Node{Name: c.name})
+		}
+		i := idx[c.name]
+		out[i].DurNanos += c.Duration().Nanoseconds()
+		out[i].Count++
+		grouped[c.name] = append(grouped[c.name], c.children...)
+	}
+	for i := range out {
+		out[i].Children = mergeChildren(grouped[out[i].Name])
+	}
+	return out
+}
+
+type spanCtxKey struct{}
+
+// StartSpan starts a span as a child of the span carried by ctx (or as a
+// root span if none) and returns a derived context carrying the new span.
+func StartSpan(ctx context.Context, name string) (context.Context, *Span) {
+	parent := FromContext(ctx)
+	var sp *Span
+	if parent != nil {
+		sp = parent.StartChild(name)
+	} else {
+		sp = NewSpan(name)
+	}
+	return context.WithValue(ctx, spanCtxKey{}, sp), sp
+}
+
+// FromContext returns the span carried by ctx, or nil.
+func FromContext(ctx context.Context) *Span {
+	sp, _ := ctx.Value(spanCtxKey{}).(*Span)
+	return sp
+}

@@ -1,0 +1,108 @@
+package obs
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+func TestSpanNestingAndAttribution(t *testing.T) {
+	root := NewSpan("run")
+	for i := 0; i < 3; i++ {
+		c := root.StartChild("estimate")
+		time.Sleep(2 * time.Millisecond)
+		c.End()
+	}
+	g := root.StartChild("flush")
+	time.Sleep(time.Millisecond)
+	g.End()
+	time.Sleep(time.Millisecond) // uncovered time -> "other"
+	root.End()
+
+	stages := root.Stages()
+	if len(stages) != 3 {
+		t.Fatalf("got %d stages (%v), want 3 (estimate, flush, other)", len(stages), stages)
+	}
+	if stages[0].Name != "estimate" || stages[0].Count != 3 {
+		t.Errorf("stage 0: got %+v, want estimate x3", stages[0])
+	}
+	if stages[1].Name != "flush" || stages[1].Count != 1 {
+		t.Errorf("stage 1: got %+v, want flush x1", stages[1])
+	}
+	if stages[2].Name != "other" {
+		t.Errorf("stage 2: got %+v, want other", stages[2])
+	}
+	var sum time.Duration
+	for _, s := range stages {
+		if s.Dur <= 0 {
+			t.Errorf("stage %s has non-positive duration", s.Name)
+		}
+		sum += s.Dur
+	}
+	if total := root.Duration(); sum != total {
+		// Stages covers the full root duration exactly: children + other.
+		t.Errorf("stage sum %v != root duration %v", sum, total)
+	}
+}
+
+func TestSpanTreeMergesSiblings(t *testing.T) {
+	root := NewSpan("run")
+	for i := 0; i < 2; i++ {
+		c := root.StartChild("tuple")
+		cc := c.StartChild("sample")
+		cc.End()
+		c.End()
+	}
+	root.End()
+	tree := root.Tree()
+	if tree.Name != "run" || len(tree.Children) != 1 {
+		t.Fatalf("tree: %+v", tree)
+	}
+	tup := tree.Children[0]
+	if tup.Name != "tuple" || tup.Count != 2 {
+		t.Errorf("merged child: got %+v, want tuple x2", tup)
+	}
+	if len(tup.Children) != 1 || tup.Children[0].Name != "sample" || tup.Children[0].Count != 2 {
+		t.Errorf("grandchildren not merged: %+v", tup.Children)
+	}
+}
+
+func TestSpanNilSafety(t *testing.T) {
+	var sp *Span
+	c := sp.StartChild("x") // must not panic
+	if c != nil {
+		t.Error("nil span produced a child")
+	}
+	c.End()
+	if c.Duration() != 0 || c.Name() != "" || c.Stages() != nil {
+		t.Error("nil span reported non-zero state")
+	}
+}
+
+func TestStartSpanContext(t *testing.T) {
+	ctx, root := StartSpan(context.Background(), "root")
+	if FromContext(ctx) != root {
+		t.Fatal("context does not carry the root span")
+	}
+	ctx2, child := StartSpan(ctx, "child")
+	child.End()
+	root.End()
+	if FromContext(ctx2) != child {
+		t.Error("derived context does not carry the child span")
+	}
+	if len(root.Stages()) == 0 || root.Stages()[0].Name != "child" {
+		t.Errorf("child not attributed to root: %v", root.Stages())
+	}
+}
+
+func TestSpanEndIdempotent(t *testing.T) {
+	sp := NewSpan("x")
+	time.Sleep(time.Millisecond)
+	sp.End()
+	d := sp.Duration()
+	time.Sleep(time.Millisecond)
+	sp.End()
+	if sp.Duration() != d {
+		t.Error("second End moved the end time")
+	}
+}

@@ -3,9 +3,11 @@ package synopsis
 import (
 	"sort"
 	"strings"
+	"time"
 
 	"cqabench/internal/cq"
 	"cqabench/internal/engine"
+	"cqabench/internal/obs"
 	"cqabench/internal/relation"
 )
 
@@ -77,6 +79,7 @@ func (s *Set) ImageFacts() []relation.FactRef {
 // rewriting Q^rew and decoding its (rid, bid, tid, kcnt) columns
 // (Appendix C).
 func Build(db *relation.Database, q *cq.Query) (*Set, error) {
+	buildStart := time.Now()
 	bi := relation.BuildBlocks(db)
 	ev := engine.NewEvaluator(db)
 
@@ -129,7 +132,25 @@ func Build(db *relation.Database, q *cq.Query) (*Set, error) {
 	sort.Slice(set.Entries, func(i, j int) bool {
 		return set.Entries[i].Tuple.Less(set.Entries[j].Tuple)
 	})
+	recordBuildMetrics(set, time.Since(buildStart))
 	return set, nil
+}
+
+// recordBuildMetrics publishes the preprocessing telemetry: build wall
+// time, the admissible-pair count, and per-pair block/image size
+// distributions (the paper's dynamic parameters, as histograms).
+func recordBuildMetrics(set *Set, elapsed time.Duration) {
+	r := obs.Default()
+	r.Histogram("synopsis_build_seconds").Observe(elapsed.Seconds())
+	r.Counter("synopsis_builds_total").Inc()
+	r.Counter("synopsis_pairs_total").Add(int64(len(set.Entries)))
+	blocks := r.Histogram("synopsis_pair_blocks")
+	images := r.Histogram("synopsis_pair_images")
+	for i := range set.Entries {
+		p := set.Entries[i].Pair
+		blocks.Observe(float64(p.NumBlocks()))
+		images.Observe(float64(p.NumImages()))
+	}
 }
 
 // encodeEntry converts a group of global-fact images into the local
