@@ -1,0 +1,24 @@
+package main
+
+import (
+	"fmt"
+	"log/slog"
+	"os"
+	"strings"
+)
+
+// newLogger builds the CLI's leveled stderr logger. Progress and status
+// lines go through it instead of ad-hoc fmt.Fprintf, so with
+// -log-format json they are machine-parseable and interleave safely
+// with other writers (one line per Write).
+func newLogger(format string) (*slog.Logger, error) {
+	opts := &slog.HandlerOptions{Level: slog.LevelInfo}
+	switch strings.ToLower(format) {
+	case "", "text":
+		return slog.New(slog.NewTextHandler(os.Stderr, opts)), nil
+	case "json":
+		return slog.New(slog.NewJSONHandler(os.Stderr, opts)), nil
+	default:
+		return nil, fmt.Errorf("unknown -log-format %q (want text or json)", format)
+	}
+}

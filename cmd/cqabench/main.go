@@ -26,6 +26,8 @@ import (
 	"cqabench/internal/cqa"
 	"cqabench/internal/harness"
 	"cqabench/internal/noise"
+	"cqabench/internal/obs"
+	"cqabench/internal/obs/manifest"
 	"cqabench/internal/qgen"
 	"cqabench/internal/relation"
 	"cqabench/internal/scenario"
@@ -49,6 +51,8 @@ func run(args []string) error {
 	switch args[0] {
 	case "run":
 		return cmdRun(args[1:])
+	case "bench":
+		return cmdBench(args[1:])
 	case "gen":
 		return cmdGen(args[1:])
 	case "noise":
@@ -94,7 +98,8 @@ func usage() {
 	fmt.Fprint(os.Stderr, `cqabench — benchmarking approximate consistent query answering
 
 subcommands:
-  run       measure a scenario family with live telemetry (-metrics-addr, -progress)
+  run       measure a scenario family with live telemetry (-metrics-addr, -progress, -trace-out)
+  bench     continuous bench: K-run medians per scheme over a fixed tier, with -compare regression gate
   gen       generate a consistent TPC-H or TPC-DS database
   noise     inject query-aware primary-key noise into a database
   answer    approximate the consistent answer of a CQ (Natural/KL/KLM/Cover)
@@ -417,11 +422,18 @@ func cmdFigure(args []string) error {
 	levelsFlag := fs.String("levels", "", "comma-separated x-axis levels (defaults per figure)")
 	metricsAddr := fs.String("metrics-addr", "", "serve /metrics, /metrics.json, expvar and pprof on this address")
 	progress := fs.Bool("progress", false, "stream per-(pair, scheme) progress lines to stderr")
+	traceOut := fs.String("trace-out", "", "write the run's span tree as Chrome Trace Event JSON here (plus a .jsonl journal)")
+	logFormat := fs.String("log-format", "text", "progress/status log format: text or json")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
-	closeMetrics, err := serveMetricsIfRequested(*metricsAddr)
+	logger, err := newLogger(*logFormat)
+	if err != nil {
+		return err
+	}
+
+	closeMetrics, err := serveMetricsIfRequested(*metricsAddr, logger)
 	if err != nil {
 		return err
 	}
@@ -441,7 +453,12 @@ func cmdFigure(args []string) error {
 		Schemes: cqa.Schemes,
 	}
 	if *progress {
-		hcfg.Progress = progressPrinter()
+		hcfg.Progress = progressPrinter(logger)
+	}
+	var traceRoot *obs.Span
+	if *traceOut != "" {
+		traceRoot = obs.NewSpan("cqabench.figure")
+		hcfg.Trace = traceRoot
 	}
 
 	parseLevels := func(def []float64) []float64 {
@@ -511,6 +528,16 @@ func cmdFigure(args []string) error {
 	}
 	if fig != nil {
 		fmt.Print(fig.CrossoverSummary())
+		fig.Manifest.Tool = "cqabench figure"
+		fig.Manifest.MergeConfig(manifest.FlagConfig(fs))
+	}
+	if traceRoot != nil && fig != nil {
+		traceRoot.End()
+		journalPath, err := writeTraceFiles(*traceOut, fig.Manifest, traceRoot)
+		if err != nil {
+			return err
+		}
+		logger.Info("wrote trace", "chrome", *traceOut, "journal", journalPath)
 	}
 	if *csvPath != "" && fig != nil {
 		f, err := os.Create(*csvPath)

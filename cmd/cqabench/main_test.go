@@ -1,9 +1,15 @@
 package main
 
 import (
+	"encoding/json"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
+
+	"cqabench/internal/benchtrack"
+	"cqabench/internal/obs/manifest"
+	"cqabench/internal/obs/trace"
 )
 
 // The CLI is exercised through run(), the same entry main() uses.
@@ -270,5 +276,176 @@ func TestFigureID5DelegatesToValidate(t *testing.T) {
 	}
 	if err := run([]string{"figure", "-id", "5", "-sf", "0.0002", "-timeout", "1s"}); err != nil {
 		t.Fatalf("figure -id 5: %v", err)
+	}
+}
+
+// TestRunTraceOutAndManifest: `run -trace-out` must produce a valid
+// Chrome Trace Event file plus a JSONL journal, and the figure JSON and
+// metrics snapshot must both carry a populated provenance manifest.
+func TestRunTraceOutAndManifest(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a full scenario")
+	}
+	dir := t.TempDir()
+	tracePath := filepath.Join(dir, "trace.json")
+	jsonPath := filepath.Join(dir, "fig.json")
+	metricsPath := filepath.Join(dir, "metrics.json")
+	err := run([]string{"run", "-scenario", "noise", "-sf", "0.0002", "-queries", "1",
+		"-joins", "1", "-balance", "0", "-levels", "0.4", "-timeout", "5s",
+		"-trace-out", tracePath, "-json", jsonPath, "-metrics-out", metricsPath,
+		"-log-format", "json"})
+	if err != nil {
+		t.Fatalf("run -trace-out: %v", err)
+	}
+
+	var chrome struct {
+		TraceEvents []trace.Event `json:"traceEvents"`
+		Metadata    struct {
+			Manifest *manifest.RunManifest `json:"manifest"`
+		} `json:"metadata"`
+	}
+	data, err := os.ReadFile(tracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(data, &chrome); err != nil {
+		t.Fatalf("trace is not valid JSON: %v", err)
+	}
+	if len(chrome.TraceEvents) < 3 {
+		t.Fatalf("only %d trace events", len(chrome.TraceEvents))
+	}
+	names := map[string]bool{}
+	for _, ev := range chrome.TraceEvents {
+		if ev.Phase != "X" || ev.Dur < 0 {
+			t.Errorf("bad event %+v", ev)
+		}
+		names[ev.Name] = true
+	}
+	for _, want := range []string{"cqabench.run", "synopsis.build", "cqa.KLM"} {
+		if !names[want] {
+			t.Errorf("trace is missing a %q event (have %v)", want, names)
+		}
+	}
+	if m := chrome.Metadata.Manifest; m == nil || m.Tool != "cqabench run" || m.GoVersion == "" || m.Config["eps"] == "" {
+		t.Errorf("trace manifest: %+v", chrome.Metadata.Manifest)
+	}
+
+	entries, err := func() ([]trace.JournalEntry, error) {
+		f, err := os.Open(filepath.Join(dir, "trace.jsonl"))
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return trace.ReadJournal(f)
+	}()
+	if err != nil {
+		t.Fatalf("journal: %v", err)
+	}
+	if len(entries) < 3 || entries[0].Type != "manifest" {
+		t.Fatalf("journal entries: %d, first %+v", len(entries), entries[0])
+	}
+
+	var fig struct {
+		Manifest *manifest.RunManifest `json:"manifest"`
+	}
+	data, err = os.ReadFile(jsonPath)
+	if err != nil || json.Unmarshal(data, &fig) != nil {
+		t.Fatalf("figure json: %v", err)
+	}
+	if fig.Manifest == nil || fig.Manifest.Tool != "cqabench run" || fig.Manifest.NumCPU == 0 {
+		t.Errorf("figure manifest: %+v", fig.Manifest)
+	}
+
+	var snap struct {
+		Manifest *manifest.RunManifest `json:"manifest"`
+		Metrics  json.RawMessage       `json:"metrics"`
+	}
+	data, err = os.ReadFile(metricsPath)
+	if err != nil || json.Unmarshal(data, &snap) != nil {
+		t.Fatalf("metrics snapshot: %v", err)
+	}
+	if snap.Manifest == nil || snap.Manifest.GoVersion == "" || len(snap.Metrics) == 0 {
+		t.Errorf("metrics snapshot envelope: manifest=%+v metrics=%d bytes", snap.Manifest, len(snap.Metrics))
+	}
+}
+
+// TestBenchCompareGate is the CLI acceptance scenario: bench writes a
+// provenance-stamped result and history line, -compare passes against an
+// identical baseline and exits nonzero against a doctored ≥2× one.
+func TestBenchCompareGate(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs bench scenarios")
+	}
+	dir := t.TempDir()
+	out := filepath.Join(dir, "BENCH_smoke.json")
+	history := filepath.Join(dir, "bench_history.jsonl")
+	base := []string{"bench", "-tier", "smoke", "-k", "2", "-schemes", "KLM",
+		"-timeout", "10s", "-out", out, "-history", history}
+
+	if err := run(base); err != nil {
+		t.Fatalf("bench: %v", err)
+	}
+	res, err := benchtrack.ReadResult(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Entries) != 1 || res.Entries[0].Scheme != "KLM" || res.Entries[0].MedianNanos <= 0 {
+		t.Fatalf("bench entries: %+v", res.Entries)
+	}
+	if res.Manifest.Tool != "cqabench bench" || res.Manifest.Config["tier"] != "smoke" {
+		t.Errorf("bench manifest: %+v", res.Manifest)
+	}
+	recs, err := benchtrack.ReadHistory(history)
+	if err != nil || len(recs) != 1 {
+		t.Fatalf("history after first run: %d records, %v", len(recs), err)
+	}
+
+	// A re-run compared against the first run's baseline must pass. Write
+	// to a second path so the baseline is not overwritten before the
+	// comparison reads it.
+	out2 := filepath.Join(dir, "BENCH_smoke2.json")
+	rerun := append(append([]string(nil), base...), "-out", out2, "-compare", out)
+	if err := run(rerun); err != nil {
+		t.Fatalf("bench -compare vs previous run: %v", err)
+	}
+	if recs, err = benchtrack.ReadHistory(history); err != nil || len(recs) != 2 {
+		t.Fatalf("history after second run: %d records, %v", len(recs), err)
+	}
+
+	// Doctor the baseline to claim everything used to be 4× faster: the
+	// current run is then a synthetic ≥2× regression and must fail.
+	doctored := filepath.Join(dir, "BENCH_doctored.json")
+	fast := res
+	fast.Entries = append([]benchtrack.Entry(nil), res.Entries...)
+	for i := range fast.Entries {
+		e := &fast.Entries[i]
+		e.MedianNanos /= 4
+		e.RunsNanos = append([]int64(nil), e.RunsNanos...)
+		for j := range e.RunsNanos {
+			e.RunsNanos[j] /= 4
+		}
+	}
+	if err := benchtrack.WriteResult(doctored, fast); err != nil {
+		t.Fatal(err)
+	}
+	err = run(append(base, "-compare", doctored))
+	if err == nil {
+		t.Fatal("bench -compare accepted a 4x regression")
+	}
+	if !strings.Contains(err.Error(), "regression") {
+		t.Errorf("unexpected compare error: %v", err)
+	}
+}
+
+// TestLogFormatFlag: the slog front-ends reject unknown formats before
+// doing any work.
+func TestLogFormatFlag(t *testing.T) {
+	for _, sub := range []string{"run", "figure", "bench"} {
+		if err := run([]string{sub, "-log-format", "yaml"}); err == nil {
+			t.Errorf("%s accepted -log-format yaml", sub)
+		}
+	}
+	if err := run([]string{"bench", "-tier", "bogus"}); err == nil {
+		t.Error("bench accepted an unknown tier")
 	}
 }

@@ -1,9 +1,12 @@
 package main
 
 import (
+	"bytes"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
+	"log/slog"
 	"os"
 	"path/filepath"
 	"strings"
@@ -12,15 +15,18 @@ import (
 	"cqabench/internal/cqa"
 	"cqabench/internal/harness"
 	"cqabench/internal/obs"
+	"cqabench/internal/obs/manifest"
+	"cqabench/internal/obs/trace"
 	"cqabench/internal/scenario"
 )
 
 // cmdRun is the instrumented harness front-end: it measures one scenario
 // family end to end while exposing live metrics over HTTP
-// (-metrics-addr), streaming per-measurement progress (-progress), and
+// (-metrics-addr), streaming per-measurement progress (-progress),
 // writing a machine-readable metrics snapshot (results/metrics.json by
-// default) when done — the artifact future PRs diff perf trajectories
-// against.
+// default) when done, and — with -trace-out — persisting the run's span
+// tree as a Perfetto-loadable Chrome trace plus a JSONL event journal.
+// Every artifact carries the run's provenance manifest.
 func cmdRun(args []string) error {
 	fs := flag.NewFlagSet("run", flag.ContinueOnError)
 	scenarioName := fs.String("scenario", "noise", "scenario family: noise, balance or joins")
@@ -37,6 +43,8 @@ func cmdRun(args []string) error {
 	metricsAddr := fs.String("metrics-addr", "", "serve /metrics, /metrics.json, expvar and pprof on this address (e.g. :9090)")
 	progress := fs.Bool("progress", false, "stream per-(pair, scheme) progress lines to stderr")
 	metricsOut := fs.String("metrics-out", filepath.Join("results", "metrics.json"), "write the final metrics snapshot here (empty = skip)")
+	traceOut := fs.String("trace-out", "", "write the run's span tree as Chrome Trace Event JSON here (plus a .jsonl journal next to it)")
+	logFormat := fs.String("log-format", "text", "progress/status log format: text or json")
 	hold := fs.Duration("hold", 0, "keep serving -metrics-addr for this long after the run")
 	jsonPath := fs.String("json", "", "write the figure (with raw span breakdowns) as JSON")
 	csvPath := fs.String("csv", "", "write raw measurements as CSV")
@@ -44,7 +52,12 @@ func cmdRun(args []string) error {
 		return err
 	}
 
-	closeMetrics, err := serveMetricsIfRequested(*metricsAddr)
+	logger, err := newLogger(*logFormat)
+	if err != nil {
+		return err
+	}
+
+	closeMetrics, err := serveMetricsIfRequested(*metricsAddr, logger)
 	if err != nil {
 		return err
 	}
@@ -64,7 +77,12 @@ func cmdRun(args []string) error {
 		Schemes: cqa.Schemes,
 	}
 	if *progress {
-		hcfg.Progress = progressPrinter()
+		hcfg.Progress = progressPrinter(logger)
+	}
+	var traceRoot *obs.Span
+	if *traceOut != "" {
+		traceRoot = obs.NewSpan("cqabench.run")
+		hcfg.Trace = traceRoot
 	}
 
 	parseLevels := func(def []float64) []float64 {
@@ -117,6 +135,11 @@ func cmdRun(args []string) error {
 		return fmt.Errorf("run: unknown scenario %q (want noise, balance or joins)", *scenarioName)
 	}
 
+	// The harness filled the manifest's environment and harness config;
+	// layer the full CLI flag set and tool name on top.
+	fig.Manifest.Tool = "cqabench run"
+	fig.Manifest.MergeConfig(manifest.FlagConfig(fs))
+
 	if *csvPath != "" {
 		if err := writeFile(*csvPath, fig.WriteCSV); err != nil {
 			return err
@@ -127,23 +150,31 @@ func cmdRun(args []string) error {
 			return err
 		}
 	}
-	if *metricsOut != "" {
-		if err := writeMetricsSnapshot(*metricsOut); err != nil {
+	if traceRoot != nil {
+		traceRoot.End()
+		journalPath, err := writeTraceFiles(*traceOut, fig.Manifest, traceRoot)
+		if err != nil {
 			return err
 		}
-		fmt.Fprintln(os.Stderr, "wrote", *metricsOut)
+		logger.Info("wrote trace", "chrome", *traceOut, "journal", journalPath)
+	}
+	if *metricsOut != "" {
+		if err := writeMetricsSnapshot(*metricsOut, fig.Manifest); err != nil {
+			return err
+		}
+		logger.Info("wrote metrics snapshot", "path", *metricsOut)
 	}
 	if *metricsAddr != "" && *hold > 0 {
-		fmt.Fprintf(os.Stderr, "holding metrics endpoint for %s\n", *hold)
+		logger.Info("holding metrics endpoint", "for", hold.String())
 		time.Sleep(*hold)
 	}
 	return nil
 }
 
-// progressPrinter returns a harness progress callback that prints one
-// stderr line per (pair, scheme) measurement, with cumulative sample and
-// timeout totals read back from the obs counters.
-func progressPrinter() func(harness.Measurement) {
+// progressPrinter returns a harness progress callback that logs one line
+// per (pair, scheme) measurement, with cumulative sample and timeout
+// totals read back from the obs counters.
+func progressPrinter(logger *slog.Logger) func(harness.Measurement) {
 	reg := obs.Default()
 	start := time.Now()
 	n := 0
@@ -155,24 +186,70 @@ func progressPrinter() func(harness.Measurement) {
 			samples += reg.Counter("sampler_samples_total", lbl).Value()
 			timeouts += reg.Counter("harness_timeouts_total", lbl).Value()
 		}
-		status := ""
-		if m.Reason != "" {
-			status = " " + m.Reason
+		attrs := []any{
+			"t", time.Since(start).Round(100 * time.Millisecond).String(),
+			"n", n,
+			"pair", m.Pair,
+			"scheme", m.Scheme.String(),
+			"level", m.Level,
+			"elapsed", m.Elapsed.Round(time.Microsecond).String(),
+			"samples", m.Samples,
+			"total_samples", samples,
+			"total_timeouts", timeouts,
 		}
-		fmt.Fprintf(os.Stderr, "[%7.1fs] #%-3d %-24s scheme=%-7s level=%-6g elapsed=%-12s samples=%-10d%s (total: samples=%d timeouts=%d)\n",
-			time.Since(start).Seconds(), n, m.Pair, m.Scheme, m.Level, m.Elapsed.Round(time.Microsecond), m.Samples, status, samples, timeouts)
+		if m.Reason != "" {
+			attrs = append(attrs, "reason", m.Reason)
+		}
+		logger.Info("measurement", attrs...)
 	}
 }
 
-// writeMetricsSnapshot dumps the default registry as JSON, creating the
+// writeTraceFiles persists a finished span tree under path: Chrome Trace
+// Event JSON at path itself and the JSONL event journal next to it
+// (extension swapped for .jsonl). Both embed the manifest. Returns the
+// journal path.
+func writeTraceFiles(path string, m *manifest.RunManifest, root *obs.Span) (string, error) {
+	if dir := filepath.Dir(path); dir != "." && dir != "" {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return "", err
+		}
+	}
+	data := root.Data()
+	err := writeFile(path, func(w io.Writer) error {
+		return trace.WriteChrome(w, m, []obs.SpanData{data})
+	})
+	if err != nil {
+		return "", err
+	}
+	journalPath := strings.TrimSuffix(path, filepath.Ext(path)) + ".jsonl"
+	err = writeFile(journalPath, func(w io.Writer) error {
+		return trace.WriteJournal(w, m, []obs.SpanData{data})
+	})
+	return journalPath, err
+}
+
+// writeMetricsSnapshot dumps the default registry as JSON wrapped in a
+// provenance envelope ({"manifest": ..., "metrics": ...}), creating the
 // target directory if needed.
-func writeMetricsSnapshot(path string) error {
+func writeMetricsSnapshot(path string, m *manifest.RunManifest) error {
 	if dir := filepath.Dir(path); dir != "." && dir != "" {
 		if err := os.MkdirAll(dir, 0o755); err != nil {
 			return err
 		}
 	}
-	return writeFile(path, obs.Default().WriteJSON)
+	var buf bytes.Buffer
+	if err := obs.Default().WriteJSON(&buf); err != nil {
+		return err
+	}
+	envelope := struct {
+		Manifest *manifest.RunManifest `json:"manifest,omitempty"`
+		Metrics  json.RawMessage       `json:"metrics"`
+	}{Manifest: m, Metrics: buf.Bytes()}
+	return writeFile(path, func(w io.Writer) error {
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		return enc.Encode(envelope)
+	})
 }
 
 func writeFile(path string, write func(w io.Writer) error) error {
@@ -190,7 +267,7 @@ func writeFile(path string, write func(w io.Writer) error) error {
 // serveMetricsIfRequested is shared by the other harness-driving
 // subcommands (figure, validate): it starts the endpoint when addr is
 // non-empty and returns a closer (a no-op closer otherwise).
-func serveMetricsIfRequested(addr string) (func(), error) {
+func serveMetricsIfRequested(addr string, logger *slog.Logger) (func(), error) {
 	if addr == "" {
 		return func() {}, nil
 	}
@@ -198,6 +275,6 @@ func serveMetricsIfRequested(addr string) (func(), error) {
 	if err != nil {
 		return nil, fmt.Errorf("metrics endpoint: %w", err)
 	}
-	fmt.Fprintf(os.Stderr, "serving metrics on http://%s/metrics\n", bound)
+	logger.Info("serving metrics", "url", "http://"+bound+"/metrics")
 	return func() { srv.Close() }, nil
 }

@@ -1,0 +1,147 @@
+package benchtrack
+
+import (
+	"fmt"
+	"math"
+	"strings"
+	"time"
+)
+
+// CompareOptions tunes the regression detector. The threshold for one
+// (scenario, scheme) is
+//
+//	max(MADFactor · 1.4826 · max(MAD(baseline runs), MAD(current runs)),
+//	    MinRel · baseline median,
+//	    MinAbs)
+//
+// — a regression is flagged when the current median exceeds the baseline
+// median by more than that. The MAD term adapts to the entry's own
+// run-to-run jitter; MinRel/MinAbs put a floor under entries whose K
+// runs happened to be suspiciously tight, so sub-millisecond wobble on
+// tiny scenarios never fails CI.
+type CompareOptions struct {
+	MADFactor float64       // default 5
+	MinRel    float64       // default 0.25 (25% of the baseline median)
+	MinAbs    time.Duration // default 5ms
+}
+
+// DefaultCompareOptions returns the CI-suitable defaults.
+func DefaultCompareOptions() CompareOptions {
+	return CompareOptions{MADFactor: 5, MinRel: 0.25, MinAbs: 5 * time.Millisecond}
+}
+
+func (o CompareOptions) withDefaults() CompareOptions {
+	def := DefaultCompareOptions()
+	if o.MADFactor <= 0 {
+		o.MADFactor = def.MADFactor
+	}
+	if o.MinRel <= 0 {
+		o.MinRel = def.MinRel
+	}
+	if o.MinAbs <= 0 {
+		o.MinAbs = def.MinAbs
+	}
+	return o
+}
+
+// Delta is the comparison of one (scenario, scheme) across two runs.
+type Delta struct {
+	Scenario       string  `json:"scenario"`
+	Scheme         string  `json:"scheme"`
+	BaselineNanos  int64   `json:"baseline_ns"`
+	CurrentNanos   int64   `json:"current_ns"`
+	ThresholdNanos int64   `json:"threshold_ns"` // allowed increase over baseline
+	Ratio          float64 `json:"ratio"`        // current / baseline
+	Regressed      bool    `json:"regressed"`
+}
+
+// Report is the outcome of comparing a current bench result against a
+// baseline.
+type Report struct {
+	Deltas []Delta `json:"deltas"`
+	// MissingInCurrent lists baseline entries the current run lacks —
+	// a silently dropped scenario must not read as "no regression".
+	MissingInCurrent []string `json:"missing_in_current,omitempty"`
+	// NewInCurrent lists current entries with no baseline counterpart.
+	NewInCurrent []string `json:"new_in_current,omitempty"`
+}
+
+// Regressions counts the flagged deltas.
+func (r Report) Regressions() int {
+	n := 0
+	for _, d := range r.Deltas {
+		if d.Regressed {
+			n++
+		}
+	}
+	return n
+}
+
+// Compare matches entries by (scenario, scheme) and flags regressions
+// beyond the MAD-based noise threshold.
+func Compare(baseline, current Result, opts CompareOptions) Report {
+	opts = opts.withDefaults()
+	base := make(map[string]Entry, len(baseline.Entries))
+	for _, e := range baseline.Entries {
+		base[e.Key()] = e
+	}
+	var rep Report
+	seen := make(map[string]bool, len(current.Entries))
+	for _, cur := range current.Entries {
+		b, ok := base[cur.Key()]
+		if !ok {
+			rep.NewInCurrent = append(rep.NewInCurrent, cur.Key())
+			continue
+		}
+		seen[cur.Key()] = true
+		noise := 1.4826 * math.Max(MAD(nanosToFloats(b.RunsNanos)), MAD(nanosToFloats(cur.RunsNanos)))
+		thr := math.Max(opts.MADFactor*noise, opts.MinRel*float64(b.MedianNanos))
+		thr = math.Max(thr, float64(opts.MinAbs.Nanoseconds()))
+		d := Delta{
+			Scenario:       cur.Scenario,
+			Scheme:         cur.Scheme,
+			BaselineNanos:  b.MedianNanos,
+			CurrentNanos:   cur.MedianNanos,
+			ThresholdNanos: int64(thr),
+			Regressed:      float64(cur.MedianNanos-b.MedianNanos) > thr,
+		}
+		if b.MedianNanos > 0 {
+			d.Ratio = float64(cur.MedianNanos) / float64(b.MedianNanos)
+		}
+		rep.Deltas = append(rep.Deltas, d)
+	}
+	for _, e := range baseline.Entries {
+		if !seen[e.Key()] {
+			rep.MissingInCurrent = append(rep.MissingInCurrent, e.Key())
+		}
+	}
+	return rep
+}
+
+// String renders the report as an aligned table, one row per delta, with
+// regressions marked.
+func (r Report) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-24s %-8s %14s %14s %8s %14s  %s\n",
+		"scenario", "scheme", "baseline", "current", "ratio", "threshold", "verdict")
+	for _, d := range r.Deltas {
+		verdict := "ok"
+		if d.Regressed {
+			verdict = "REGRESSED"
+		}
+		fmt.Fprintf(&b, "%-24s %-8s %14s %14s %7.2fx %14s  %s\n",
+			d.Scenario, d.Scheme,
+			time.Duration(d.BaselineNanos).Round(time.Microsecond),
+			time.Duration(d.CurrentNanos).Round(time.Microsecond),
+			d.Ratio,
+			"+"+time.Duration(d.ThresholdNanos).Round(time.Microsecond).String(),
+			verdict)
+	}
+	for _, k := range r.MissingInCurrent {
+		fmt.Fprintf(&b, "%-24s MISSING in current run\n", k)
+	}
+	for _, k := range r.NewInCurrent {
+		fmt.Fprintf(&b, "%-24s new (no baseline)\n", k)
+	}
+	return b.String()
+}

@@ -1,0 +1,107 @@
+package benchtrack
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+)
+
+// HistoryEntry is the per-(scenario, scheme) slice of a history record:
+// the medians only, without the raw runs, so the history file stays
+// compact over hundreds of commits.
+type HistoryEntry struct {
+	Scenario     string  `json:"scenario"`
+	Scheme       string  `json:"scheme"`
+	MedianNanos  int64   `json:"median_ns"`
+	SamplesPerOp float64 `json:"samples_per_op"`
+	PrepNanos    int64   `json:"prep_ns"`
+	Timeouts     int     `json:"timeouts,omitempty"`
+}
+
+// HistoryRecord is one line of results/bench_history.jsonl: the bench
+// trajectory of the repository, one record per bench invocation,
+// attributable via git sha and timestamp.
+type HistoryRecord struct {
+	Time     time.Time      `json:"time"`
+	GitSHA   string         `json:"git_sha,omitempty"`
+	GitDirty bool           `json:"git_dirty,omitempty"`
+	Host     string         `json:"host,omitempty"`
+	Tier     string         `json:"tier"`
+	K        int            `json:"k"`
+	Entries  []HistoryEntry `json:"entries"`
+}
+
+// HistoryFromResult projects a bench result onto its history line.
+func HistoryFromResult(r Result) HistoryRecord {
+	rec := HistoryRecord{
+		Time:     r.Manifest.Start,
+		GitSHA:   r.Manifest.GitSHA,
+		GitDirty: r.Manifest.GitDirty,
+		Host:     r.Manifest.Host,
+		Tier:     r.Tier,
+		K:        r.K,
+	}
+	for _, e := range r.Entries {
+		rec.Entries = append(rec.Entries, HistoryEntry{
+			Scenario:     e.Scenario,
+			Scheme:       e.Scheme,
+			MedianNanos:  e.MedianNanos,
+			SamplesPerOp: e.SamplesPerOp,
+			PrepNanos:    e.PrepNanos,
+			Timeouts:     e.Timeouts,
+		})
+	}
+	return rec
+}
+
+// AppendHistory appends rec as one compact JSON line, creating the file
+// and parent directories on first use. Append-only by design: the
+// history is the repository's long-term perf trajectory.
+func AppendHistory(path string, rec HistoryRecord) error {
+	if dir := filepath.Dir(path); dir != "." && dir != "" {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return err
+		}
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return err
+	}
+	if err := json.NewEncoder(f).Encode(rec); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// ReadHistory parses a bench_history.jsonl file back into its records,
+// in file order (oldest first).
+func ReadHistory(path string) ([]HistoryRecord, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var out []HistoryRecord
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	line := 0
+	for sc.Scan() {
+		line++
+		if len(sc.Bytes()) == 0 {
+			continue
+		}
+		var rec HistoryRecord
+		if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
+			return nil, fmt.Errorf("benchtrack: %s line %d: %w", path, line, err)
+		}
+		out = append(out, rec)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}

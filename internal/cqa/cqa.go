@@ -198,7 +198,19 @@ func recordRunMetrics(scheme Scheme, stats Stats, err error) {
 // one relative-frequency approximation per answer tuple. This is the
 // measured phase of the paper's experiments (preprocessing excluded).
 func ApxAnswersFromSet(set *synopsis.Set, scheme Scheme, opts Options) ([]TupleFreq, Stats, error) {
-	root := obs.NewSpan("cqa." + scheme.String())
+	return ApxAnswersFromSetTraced(set, scheme, opts, nil)
+}
+
+// ApxAnswersFromSetTraced is ApxAnswersFromSet with span attribution
+// under parent: the run's root span ("cqa.<Scheme>", with sampler.init /
+// estimate children) becomes a child of parent, so callers holding a
+// span tree (the harness's -trace-out plumbing) capture the run in their
+// trace. A nil parent reproduces ApxAnswersFromSet exactly.
+func ApxAnswersFromSetTraced(set *synopsis.Set, scheme Scheme, opts Options, parent *obs.Span) ([]TupleFreq, Stats, error) {
+	root := parent.StartChild("cqa." + scheme.String())
+	if root == nil {
+		root = obs.NewSpan("cqa." + scheme.String())
+	}
 	src := mt.New(opts.Seed)
 	out := make([]TupleFreq, 0, len(set.Entries))
 	var stats Stats

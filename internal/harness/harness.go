@@ -19,6 +19,7 @@ import (
 	"cqabench/internal/cqa"
 	"cqabench/internal/estimator"
 	"cqabench/internal/obs"
+	"cqabench/internal/obs/manifest"
 	"cqabench/internal/scenario"
 	"cqabench/internal/synopsis"
 )
@@ -34,6 +35,11 @@ type Config struct {
 	// Progress, if set, is called after every (pair, scheme) measurement;
 	// the CLI's -progress flag uses it to stream status lines to stderr.
 	Progress func(Measurement)
+	// Trace, if set, is the parent span the run attributes all work
+	// under: one "pair:<name>" child per pair, holding a synopsis.build
+	// span and one "cqa.<Scheme>" span tree per scheme run. The CLI's
+	// -trace-out flag exports the resulting tree via internal/obs/trace.
+	Trace *obs.Span
 }
 
 // DefaultConfig mirrors the paper's experimental setting with a short
@@ -91,6 +97,10 @@ type Figure struct {
 	// report its average and standard deviation in their captions).
 	Balances []float64
 	Raw      []Measurement
+	// Manifest is the run's provenance record (git sha, host, Go
+	// toolchain, ε/δ/seed/timeout), populated by Run and embedded in the
+	// figure JSON so every persisted result is attributable.
+	Manifest *manifest.RunManifest
 }
 
 // Run measures every configured scheme on every pair of the workload,
@@ -102,6 +112,7 @@ func Run(w *scenario.Workload, cfg Config, level func(scenario.Pair) float64) (*
 		schemes = cqa.Schemes
 	}
 	fig := &Figure{Title: w.Name, XLabel: "level"}
+	fig.Manifest = runManifest(w.Name, cfg, schemes)
 	reg := obs.Default()
 	perScheme := make(map[cqa.Scheme]map[float64][]Measurement)
 	for _, s := range schemes {
@@ -111,9 +122,13 @@ func Run(w *scenario.Workload, cfg Config, level func(scenario.Pair) float64) (*
 		reg.Counter("harness_timeouts_total", obs.L("scheme", s.String()))
 	}
 	for _, pair := range w.Pairs {
+		pairSpan := cfg.Trace.StartChild("pair:" + pair.Name)
+		buildSpan := pairSpan.StartChild("synopsis.build")
 		prepStart := time.Now()
 		set, err := synopsis.Build(pair.DB, pair.Query)
+		buildSpan.End()
 		if err != nil {
+			pairSpan.End()
 			return nil, fmt.Errorf("harness: %s: %w", pair.Name, err)
 		}
 		prep := time.Since(prepStart)
@@ -126,7 +141,7 @@ func Run(w *scenario.Workload, cfg Config, level func(scenario.Pair) float64) (*
 				opts.Budget.Deadline = time.Now().Add(cfg.Timeout)
 			}
 			start := time.Now()
-			_, stats, err := cqa.ApxAnswersFromSet(set, s, opts)
+			_, stats, err := cqa.ApxAnswersFromSetTraced(set, s, opts, pairSpan)
 			elapsed := time.Since(start)
 			m := Measurement{
 				Pair:    pair.Name,
@@ -139,6 +154,7 @@ func Run(w *scenario.Workload, cfg Config, level func(scenario.Pair) float64) (*
 			}
 			if err != nil {
 				if !errors.Is(err, estimator.ErrBudget) {
+					pairSpan.End()
 					return nil, fmt.Errorf("harness: %s %v: %w", pair.Name, s, err)
 				}
 				m.TimedOut = true
@@ -158,6 +174,7 @@ func Run(w *scenario.Workload, cfg Config, level func(scenario.Pair) float64) (*
 				cfg.Progress(m)
 			}
 		}
+		pairSpan.End()
 	}
 	for _, s := range schemes {
 		var levels []float64
@@ -186,6 +203,25 @@ func Run(w *scenario.Workload, cfg Config, level func(scenario.Pair) float64) (*
 		fig.Series = append(fig.Series, series)
 	}
 	return fig, nil
+}
+
+// runManifest builds the run's provenance record from the harness
+// configuration. Front-ends (cmd/cqabench) merge their full CLI flag
+// sets on top via Manifest.MergeConfig.
+func runManifest(workload string, cfg Config, schemes []cqa.Scheme) *manifest.RunManifest {
+	names := make([]string, len(schemes))
+	for i, s := range schemes {
+		names[i] = s.String()
+	}
+	m := manifest.Collect("cqabench/harness", map[string]string{
+		"workload": workload,
+		"eps":      fmt.Sprint(cfg.Opts.Eps),
+		"delta":    fmt.Sprint(cfg.Opts.Delta),
+		"seed":     fmt.Sprint(cfg.Opts.Seed),
+		"timeout":  cfg.Timeout.String(),
+		"schemes":  strings.Join(names, ","),
+	})
+	return &m
 }
 
 // stagesForElapsed fits a run's span stages to the measurement's

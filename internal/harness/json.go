@@ -3,18 +3,22 @@ package harness
 import (
 	"encoding/json"
 	"io"
+
+	"cqabench/internal/obs/manifest"
 )
 
 // figureJSON is the stable JSON shape of a figure, meant for external
 // plotting tools (the paper's plots are matplotlib; this is the
-// interchange point).
+// interchange point). The manifest makes the file self-describing: any
+// figure JSON in results/ names the exact run that produced it.
 type figureJSON struct {
-	Title     string            `json:"title"`
-	XLabel    string            `json:"x_label"`
-	Series    []seriesJSON      `json:"series"`
-	PrepNanos []int64           `json:"prep_ns,omitempty"`
-	Balances  []float64         `json:"balances,omitempty"`
-	Raw       []measurementJSON `json:"raw,omitempty"`
+	Title     string                `json:"title"`
+	XLabel    string                `json:"x_label"`
+	Manifest  *manifest.RunManifest `json:"manifest,omitempty"`
+	Series    []seriesJSON          `json:"series"`
+	PrepNanos []int64               `json:"prep_ns,omitempty"`
+	Balances  []float64             `json:"balances,omitempty"`
+	Raw       []measurementJSON     `json:"raw,omitempty"`
 }
 
 type seriesJSON struct {
@@ -55,7 +59,7 @@ type stageJSON struct {
 // the raw per-(pair, scheme) measurements and their per-stage span
 // breakdowns, as indented JSON.
 func (f *Figure) WriteJSON(w io.Writer) error {
-	out := figureJSON{Title: f.Title, XLabel: f.XLabel}
+	out := figureJSON{Title: f.Title, XLabel: f.XLabel, Manifest: f.Manifest}
 	for _, s := range f.Series {
 		sj := seriesJSON{Scheme: s.Scheme.String()}
 		for _, p := range s.Points {

@@ -1,6 +1,8 @@
 package harness
 
 import (
+	"bytes"
+	"encoding/json"
 	"testing"
 	"time"
 
@@ -71,6 +73,75 @@ func TestTimedOutMeasurementsAreZeroed(t *testing.T) {
 	}
 	if after-before != timeouts {
 		t.Errorf("harness_timeouts_total advanced by %d, want %d", after-before, timeouts)
+	}
+}
+
+// TestRunManifestAndTracePlumbing checks the provenance/trace layer: Run
+// populates Figure.Manifest, the figure JSON embeds it, and a Trace span
+// handed in via Config captures one pair span per pair with synopsis and
+// scheme children.
+func TestRunManifestAndTracePlumbing(t *testing.T) {
+	w := telemetryWorkload(t)
+	cfg := DefaultConfig()
+	cfg.Timeout = 5 * time.Second
+	root := obs.NewSpan("test.run")
+	cfg.Trace = root
+	fig, err := Run(w, cfg, func(p scenario.Pair) float64 { return p.Noise })
+	if err != nil {
+		t.Fatal(err)
+	}
+	root.End()
+
+	m := fig.Manifest
+	if m == nil {
+		t.Fatal("Run did not populate Figure.Manifest")
+	}
+	if m.GoVersion == "" || m.GOMAXPROCS <= 0 || m.Start.IsZero() {
+		t.Errorf("manifest environment fields missing: %+v", m)
+	}
+	for _, k := range []string{"eps", "delta", "seed", "timeout", "workload", "schemes"} {
+		if m.Config[k] == "" {
+			t.Errorf("manifest config lacks %q: %v", k, m.Config)
+		}
+	}
+
+	var buf bytes.Buffer
+	if err := fig.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var decoded struct {
+		Manifest *struct {
+			GoVersion string            `json:"go_version"`
+			Config    map[string]string `json:"config"`
+		} `json:"manifest"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &decoded); err != nil {
+		t.Fatal(err)
+	}
+	if decoded.Manifest == nil || decoded.Manifest.GoVersion == "" || decoded.Manifest.Config["eps"] == "" {
+		t.Errorf("figure JSON manifest not populated: %+v", decoded.Manifest)
+	}
+
+	data := root.Data()
+	if len(data.Children) != len(w.Pairs) {
+		t.Fatalf("trace has %d pair spans, want %d", len(data.Children), len(w.Pairs))
+	}
+	for _, pairSpan := range data.Children {
+		names := map[string]int{}
+		for _, c := range pairSpan.Children {
+			names[c.Name]++
+		}
+		if names["synopsis.build"] != 1 {
+			t.Errorf("pair span %q: synopsis.build count %d, want 1", pairSpan.Name, names["synopsis.build"])
+		}
+		for _, s := range cqa.Schemes {
+			if names["cqa."+s.String()] != 1 {
+				t.Errorf("pair span %q: missing cqa.%s child (%v)", pairSpan.Name, s, names)
+			}
+		}
+		if pairSpan.End.After(data.End) {
+			t.Errorf("pair span %q extends past the root", pairSpan.Name)
+		}
 	}
 }
 

@@ -29,8 +29,15 @@ var histBounds = func() [histNumBounds]float64 {
 }()
 
 // bucketIndex returns the bucket of v: 0 holds v ≤ bounds[0] (including
-// the underflow range), len(bounds) is the overflow bucket.
+// the underflow range), len(bounds) is the overflow bucket. Zero and
+// negative observations have no log-scale bucket of their own; they are
+// clamped into the underflow bucket explicitly, so durations that round
+// to zero (or subtraction artifacts that go slightly negative) can never
+// produce a bogus bucket index.
 func bucketIndex(v float64) int {
+	if v <= histBounds[0] { // includes all v ≤ 0 and -Inf
+		return 0
+	}
 	return sort.SearchFloat64s(histBounds[:], v)
 }
 

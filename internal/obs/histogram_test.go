@@ -84,6 +84,47 @@ func TestQuantileEdgeCases(t *testing.T) {
 	}
 }
 
+// TestZeroAndNegativeObservations is the regression test for the
+// log-scale bucketing edge case: zero and negative values have no
+// logarithmic bucket, so they must be clamped into the underflow bucket
+// (index 0) instead of producing a bogus index, and quantiles/buckets
+// must stay well-formed.
+func TestZeroAndNegativeObservations(t *testing.T) {
+	for _, v := range []float64{0, -1e-12, -3.5, math.Inf(-1)} {
+		if got := bucketIndex(v); got != 0 {
+			t.Errorf("bucketIndex(%g) = %d, want 0 (underflow)", v, got)
+		}
+	}
+	h := newHistogram()
+	h.Observe(0)
+	h.Observe(-2)
+	h.Observe(1) // one regular observation
+	s := h.Snapshot()
+	if s.Count != 3 {
+		t.Fatalf("count: got %d, want 3", s.Count)
+	}
+	if s.Min != -2 || s.Max != 1 {
+		t.Errorf("min/max: got %g/%g, want -2/1", s.Min, s.Max)
+	}
+	// The two non-positive observations share the underflow bucket; its
+	// quantile estimate is the observed minimum.
+	if got := s.Quantile(0.5); got != -2 {
+		t.Errorf("median: got %g, want -2 (underflow clamps to Min)", got)
+	}
+	if got := s.Quantile(1); got != 1 {
+		t.Errorf("q=1: got %g, want 1", got)
+	}
+	bs := s.Buckets()
+	if len(bs) == 0 || bs[0].Count != 2 {
+		t.Fatalf("underflow bucket: got %+v, want first bucket count 2", bs)
+	}
+	for i := 1; i < len(bs); i++ {
+		if bs[i].Count < bs[i-1].Count {
+			t.Errorf("bucket %d not cumulative: %+v after %+v", i, bs[i], bs[i-1])
+		}
+	}
+}
+
 func TestBucketsCumulative(t *testing.T) {
 	h := newHistogram()
 	for _, v := range []float64{0.001, 0.001, 0.5, 2, 1e13} {

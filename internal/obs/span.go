@@ -35,12 +35,49 @@ func (s *Span) StartChild(name string) *Span {
 }
 
 // End marks the span finished. Calling End twice keeps the first end
-// time; Duration before End measures up to now.
+// time; Duration before End measures up to now. Ending a parent also
+// ends (or clamps) any still-running descendants at the parent's end
+// time, so Stages and Tree never attribute time past the parent's end.
 func (s *Span) End() {
 	if s == nil || !s.end.IsZero() {
 		return
 	}
 	s.end = time.Now()
+	for _, c := range s.children {
+		c.clampTo(s.end)
+	}
+}
+
+// clampTo ends a still-running span at t, pulls back an end time past t,
+// and recursively applies the same bound to the subtree. A span that
+// started after t gets a zero duration rather than a negative one.
+func (s *Span) clampTo(t time.Time) {
+	if s.end.IsZero() || s.end.After(t) {
+		if t.Before(s.start) {
+			t = s.start
+		}
+		s.end = t
+	}
+	for _, c := range s.children {
+		c.clampTo(s.end)
+	}
+}
+
+// Start returns the span's start time (zero on nil).
+func (s *Span) Start() time.Time {
+	if s == nil {
+		return time.Time{}
+	}
+	return s.start
+}
+
+// EndTime returns the span's end time, or the zero time while it is
+// still running.
+func (s *Span) EndTime() time.Time {
+	if s == nil {
+		return time.Time{}
+	}
+	return s.end
 }
 
 // Name returns the span's stage name ("" on nil).
@@ -139,6 +176,45 @@ func mergeChildren(spans []*Span) []Node {
 		out[i].Children = mergeChildren(grouped[out[i].Name])
 	}
 	return out
+}
+
+// SpanData is an immutable snapshot of a span tree with absolute
+// timestamps, the interchange form consumed by exporters (notably
+// internal/obs/trace). Unlike Tree, it does not merge siblings: every
+// span instance becomes one node, so event timelines stay intact.
+type SpanData struct {
+	Name     string
+	Start    time.Time
+	End      time.Time
+	Children []SpanData
+}
+
+// Duration returns End - Start.
+func (d SpanData) Duration() time.Duration { return d.End.Sub(d.Start) }
+
+// Data snapshots the span tree. Still-running spans are clamped to now,
+// and children never extend past their parent's end, mirroring End's
+// clamping. Returns the zero SpanData on a nil span.
+func (s *Span) Data() SpanData {
+	if s == nil {
+		return SpanData{}
+	}
+	return s.data(time.Now())
+}
+
+func (s *Span) data(deadline time.Time) SpanData {
+	end := s.end
+	if end.IsZero() || end.After(deadline) {
+		end = deadline
+	}
+	if end.Before(s.start) {
+		end = s.start
+	}
+	d := SpanData{Name: s.name, Start: s.start, End: end}
+	for _, c := range s.children {
+		d.Children = append(d.Children, c.data(end))
+	}
+	return d
 }
 
 type spanCtxKey struct{}

@@ -95,6 +95,79 @@ func TestStartSpanContext(t *testing.T) {
 	}
 }
 
+// TestSpanEndClampsRunningChildren is the regression test for span
+// attribution of unfinished children: ending a parent must end (or
+// clamp) still-running descendants so Stages/Tree never attribute time
+// past the parent's end.
+func TestSpanEndClampsRunningChildren(t *testing.T) {
+	root := NewSpan("run")
+	c := root.StartChild("estimate")
+	g := c.StartChild("inner") // grandchild, also left running
+	_ = g
+	time.Sleep(2 * time.Millisecond)
+	root.End() // neither c nor g was ended
+
+	if c.EndTime().IsZero() || g.EndTime().IsZero() {
+		t.Fatal("End did not end the running descendants")
+	}
+	if c.EndTime().After(root.EndTime()) || g.EndTime().After(c.EndTime()) {
+		t.Errorf("descendant ends past the parent: root=%v child=%v grandchild=%v",
+			root.EndTime(), c.EndTime(), g.EndTime())
+	}
+	var stageSum time.Duration
+	for _, st := range root.Stages() {
+		stageSum += st.Dur
+	}
+	if total := root.Duration(); stageSum != total {
+		t.Errorf("stages sum %v != root duration %v", stageSum, total)
+	}
+	if d := c.Duration(); d > root.Duration() {
+		t.Errorf("child duration %v exceeds root duration %v", d, root.Duration())
+	}
+	// Duration must be stable afterwards: the child is really ended, not
+	// still measuring to now.
+	d := c.Duration()
+	time.Sleep(2 * time.Millisecond)
+	if c.Duration() != d {
+		t.Error("clamped child keeps accumulating time")
+	}
+}
+
+// A child ended after its parent's end (out-of-order Ends) is pulled
+// back to the parent's end on the parent's End.
+func TestSpanEndClampsLateChildEnd(t *testing.T) {
+	root := NewSpan("run")
+	c := root.StartChild("late")
+	time.Sleep(time.Millisecond)
+	root.End()
+	c.End() // no-op: c was already clamped by root.End
+	if c.EndTime().After(root.EndTime()) {
+		t.Errorf("child end %v past root end %v", c.EndTime(), root.EndTime())
+	}
+}
+
+func TestSpanData(t *testing.T) {
+	root := NewSpan("run")
+	c := root.StartChild("stage")
+	time.Sleep(time.Millisecond)
+	c.End()
+	root.End()
+	d := root.Data()
+	if d.Name != "run" || len(d.Children) != 1 || d.Children[0].Name != "stage" {
+		t.Fatalf("data: %+v", d)
+	}
+	if d.Duration() <= 0 || d.Children[0].Duration() <= 0 {
+		t.Error("non-positive durations in snapshot")
+	}
+	if d.Children[0].End.After(d.End) || d.Children[0].Start.Before(d.Start) {
+		t.Error("child snapshot extends outside the parent")
+	}
+	var nilSpan *Span
+	if got := nilSpan.Data(); got.Name != "" || got.Children != nil {
+		t.Errorf("nil span data: %+v", got)
+	}
+}
+
 func TestSpanEndIdempotent(t *testing.T) {
 	sp := NewSpan("x")
 	time.Sleep(time.Millisecond)

@@ -1,0 +1,98 @@
+// Package trace persists obs span trees for post-hoc inspection in two
+// forms: Chrome Trace Event Format JSON — loadable in Perfetto
+// (ui.perfetto.dev) and chrome://tracing — and a structured JSONL event
+// journal that is trivially grep/jq-able. Both carry the run's
+// provenance manifest so a trace file is attributable to an exact run.
+package trace
+
+import (
+	"encoding/json"
+	"io"
+	"time"
+
+	"cqabench/internal/obs"
+)
+
+// Event is one Chrome Trace Event. Only the "X" (complete) phase is
+// emitted: one event per span with a timestamp and duration in
+// microseconds, as specified by the Trace Event Format.
+type Event struct {
+	Name  string         `json:"name"`
+	Phase string         `json:"ph"`
+	TS    float64        `json:"ts"`  // microseconds since the trace base
+	Dur   float64        `json:"dur"` // microseconds
+	PID   int            `json:"pid"`
+	TID   int            `json:"tid"`
+	Args  map[string]any `json:"args,omitempty"`
+}
+
+// File is the JSON-object form of a trace file. Perfetto and
+// chrome://tracing accept this shape directly.
+type File struct {
+	TraceEvents     []Event        `json:"traceEvents"`
+	DisplayTimeUnit string         `json:"displayTimeUnit"`
+	Metadata        map[string]any `json:"metadata,omitempty"`
+}
+
+func micros(d time.Duration) float64 { return float64(d.Nanoseconds()) / 1e3 }
+
+// Events flattens one span tree into complete events on thread tid,
+// depth-first, with timestamps relative to base. Each event's args
+// record its nesting depth.
+func Events(root obs.SpanData, base time.Time, tid int) []Event {
+	return appendEvents(nil, root, base, tid, 0)
+}
+
+func appendEvents(out []Event, s obs.SpanData, base time.Time, tid, depth int) []Event {
+	out = append(out, Event{
+		Name:  s.Name,
+		Phase: "X",
+		TS:    micros(s.Start.Sub(base)),
+		Dur:   micros(s.Duration()),
+		PID:   1,
+		TID:   tid,
+		Args:  map[string]any{"depth": depth},
+	})
+	for _, c := range s.Children {
+		out = appendEvents(out, c, base, tid, depth+1)
+	}
+	return out
+}
+
+// baseTime returns the earliest start among the roots (the trace's time
+// origin), or the zero time when there are no roots.
+func baseTime(roots []obs.SpanData) time.Time {
+	var base time.Time
+	for _, r := range roots {
+		if base.IsZero() || r.Start.Before(base) {
+			base = r.Start
+		}
+	}
+	return base
+}
+
+// WriteChrome writes the span trees as one Chrome Trace Event Format
+// JSON file, each root on its own thread track. manifest (any
+// JSON-marshalable value, may be nil) is embedded under
+// metadata.manifest; metadata.base_time records the absolute time that
+// microsecond timestamps are relative to.
+func WriteChrome(w io.Writer, manifest any, roots []obs.SpanData) error {
+	f := File{
+		TraceEvents:     []Event{}, // a valid trace needs the array even when empty
+		DisplayTimeUnit: "ms",
+	}
+	base := baseTime(roots)
+	for i, r := range roots {
+		f.TraceEvents = append(f.TraceEvents, Events(r, base, i+1)...)
+	}
+	f.Metadata = map[string]any{}
+	if !base.IsZero() {
+		f.Metadata["base_time"] = base.UTC().Format(time.RFC3339Nano)
+	}
+	if manifest != nil {
+		f.Metadata["manifest"] = manifest
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(f)
+}
