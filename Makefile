@@ -6,12 +6,16 @@ GO ?= go
 
 all: build vet test
 
-# The CI gate: vet, formatting, and the race-sensitive subset.
+# The CI gate: vet, formatting, the race-sensitive subset, and docs
+# consistency (every flag the docs mention must exist in cqabench -h).
 check:
 	$(GO) vet ./...
 	@fmtout=$$(gofmt -l .); if [ -n "$$fmtout" ]; then \
 		echo "gofmt needed on:"; echo "$$fmtout"; exit 1; fi
-	$(GO) test -race ./internal/obs/... ./internal/harness/...
+	$(GO) test -race ./internal/obs/... ./internal/harness/... ./internal/syncache/...
+	$(GO) build -o /tmp/cqabench-docscheck ./cmd/cqabench
+	$(GO) run ./cmd/docscheck -bin /tmp/cqabench-docscheck \
+		README.md EXPERIMENTS.md docs/ARCHITECTURE.md docs/FORMATS.md docs/OBSERVABILITY.md
 
 build:
 	$(GO) build ./...
@@ -38,6 +42,7 @@ fuzz:
 	$(GO) test -fuzz FuzzParseSchema -fuzztime 30s ./internal/relation/
 	$(GO) test -fuzz FuzzReadDB -fuzztime 30s ./internal/relation/
 	$(GO) test -fuzz FuzzParseDIMACS -fuzztime 30s ./internal/dnf/
+	$(GO) test -fuzz FuzzCodecRoundTrip -fuzztime 30s ./internal/syncache/
 
 # The paper's figures as text tables under results/.
 figures:

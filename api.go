@@ -7,6 +7,7 @@ import (
 	"cqabench/internal/cqa"
 	"cqabench/internal/engine"
 	"cqabench/internal/relation"
+	"cqabench/internal/syncache"
 	"cqabench/internal/synopsis"
 )
 
@@ -62,6 +63,31 @@ type SynopsisEntry = synopsis.Entry
 
 // SynopsisStop ends StreamSynopses early without error.
 var SynopsisStop = synopsis.ErrStop
+
+// EncodeSynopsis writes a synopsis in the versioned binary codec
+// (magic "CQSY"; see docs/FORMATS.md). The encoding is canonical:
+// encoding the same synopsis always yields the same bytes.
+func EncodeSynopsis(w io.Writer, set *Synopsis) error { return syncache.Encode(w, set) }
+
+// DecodeSynopsis reads a synopsis previously written by EncodeSynopsis,
+// verifying magic, version, framing and checksum, then validating the
+// structural invariants of every admissible pair.
+func DecodeSynopsis(r io.Reader) (*Synopsis, error) { return syncache.Decode(r) }
+
+// SynopsisCache is a content-addressed on-disk store of encoded
+// synopses, used by the benchmark harness to skip re-building synopses
+// for unchanged (scenario, query) pairs across runs.
+type SynopsisCache = syncache.Cache
+
+// OpenSynopsisCache opens a synopsis cache rooted at dir. Mode is the
+// CLI spelling: "rw" (load and store), "ro" (load only) or "off".
+func OpenSynopsisCache(dir, mode string) (*SynopsisCache, error) {
+	m, err := syncache.ParseMode(mode)
+	if err != nil {
+		return nil, err
+	}
+	return syncache.Open(dir, m)
+}
 
 // WriteDatabase serializes a database in the library's line-oriented text
 // format; ReadDatabase parses it back over the same schema.

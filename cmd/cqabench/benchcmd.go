@@ -36,10 +36,15 @@ func cmdBench(args []string) error {
 	minAbs := fs.Duration("compare-min-abs", 0, "absolute floor of the noise threshold (0 = default 5ms)")
 	traceOut := fs.String("trace-out", "", "write the bench span tree as Chrome Trace Event JSON here (plus a .jsonl journal)")
 	logFormat := fs.String("log-format", "text", "progress/status log format: text or json")
+	openCache := cacheFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	logger, err := newLogger(*logFormat)
+	if err != nil {
+		return err
+	}
+	cache, err := openCache()
 	if err != nil {
 		return err
 	}
@@ -69,6 +74,7 @@ func cmdBench(args []string) error {
 		Opts:    cqa.Options{Eps: *eps, Delta: *delta, Seed: *seed},
 		Schemes: schemes,
 		Trace:   traceRoot,
+		Cache:   cache,
 		Progress: func(e benchtrack.Entry) {
 			logger.Info("bench entry",
 				"scenario", e.Scenario,
@@ -76,6 +82,7 @@ func cmdBench(args []string) error {
 				"median", time.Duration(e.MedianNanos).Round(time.Microsecond).String(),
 				"samples_per_op", e.SamplesPerOp,
 				"prep", time.Duration(e.PrepNanos).Round(time.Microsecond).String(),
+				"prep_source", e.PrepSource,
 				"timeouts", e.Timeouts)
 		},
 	}
@@ -83,6 +90,7 @@ func cmdBench(args []string) error {
 	if err != nil {
 		return err
 	}
+	logCacheSummary(logger, cache)
 	res.Manifest.Tool = "cqabench bench"
 	res.Manifest.MergeConfig(manifest.FlagConfig(fs))
 

@@ -424,11 +424,16 @@ func cmdFigure(args []string) error {
 	progress := fs.Bool("progress", false, "stream per-(pair, scheme) progress lines to stderr")
 	traceOut := fs.String("trace-out", "", "write the run's span tree as Chrome Trace Event JSON here (plus a .jsonl journal)")
 	logFormat := fs.String("log-format", "text", "progress/status log format: text or json")
+	openCache := cacheFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
 	logger, err := newLogger(*logFormat)
+	if err != nil {
+		return err
+	}
+	cache, err := openCache()
 	if err != nil {
 		return err
 	}
@@ -451,6 +456,7 @@ func cmdFigure(args []string) error {
 		Opts:    cqa.Options{Eps: *eps, Delta: *delta, Seed: 5489},
 		Timeout: *timeout,
 		Schemes: cqa.Schemes,
+		Cache:   cache,
 	}
 	if *progress {
 		hcfg.Progress = progressPrinter(logger)
@@ -526,6 +532,7 @@ func cmdFigure(args []string) error {
 	if *chart && fig != nil {
 		fmt.Print(fig.Chart(72, 16))
 	}
+	logCacheSummary(logger, cache)
 	if fig != nil {
 		fmt.Print(fig.CrossoverSummary())
 		fig.Manifest.Tool = "cqabench figure"

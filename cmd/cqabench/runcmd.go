@@ -48,11 +48,16 @@ func cmdRun(args []string) error {
 	hold := fs.Duration("hold", 0, "keep serving -metrics-addr for this long after the run")
 	jsonPath := fs.String("json", "", "write the figure (with raw span breakdowns) as JSON")
 	csvPath := fs.String("csv", "", "write raw measurements as CSV")
+	openCache := cacheFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
 	logger, err := newLogger(*logFormat)
+	if err != nil {
+		return err
+	}
+	cache, err := openCache()
 	if err != nil {
 		return err
 	}
@@ -75,6 +80,7 @@ func cmdRun(args []string) error {
 		Opts:    cqa.Options{Eps: *eps, Delta: *delta, Seed: 5489},
 		Timeout: *timeout,
 		Schemes: cqa.Schemes,
+		Cache:   cache,
 	}
 	if *progress {
 		hcfg.Progress = progressPrinter(logger)
@@ -134,6 +140,13 @@ func cmdRun(args []string) error {
 	default:
 		return fmt.Errorf("run: unknown scenario %q (want noise, balance or joins)", *scenarioName)
 	}
+
+	var totalPrep time.Duration
+	for _, p := range fig.PrepTimes {
+		totalPrep += p
+	}
+	logger.Info("synopsis prep", "pairs", len(fig.PrepTimes), "total", totalPrep.Round(time.Microsecond).String())
+	logCacheSummary(logger, cache)
 
 	// The harness filled the manifest's environment and harness config;
 	// layer the full CLI flag set and tool name on top.

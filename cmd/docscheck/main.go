@@ -1,0 +1,225 @@
+// Command docscheck keeps the documentation honest: every cqabench
+// flag the markdown docs mention must actually exist in the binary's
+// -h output, and every subcommand the docs invoke must be listed by
+// `cqabench help`. CI runs it against the freshly built binary, so a
+// renamed or removed flag fails the build until the docs catch up.
+//
+// Usage:
+//
+//	docscheck -bin ./cqabench README.md docs/*.md
+//
+// The scanner looks at two kinds of doc text:
+//
+//   - fenced code blocks: any line mentioning the cqabench binary
+//     (including `go run ./cmd/cqabench ...` and backslash-continued
+//     lines) is parsed as an invocation — its subcommand must exist
+//     and each of its -flags must be registered on that subcommand;
+//   - inline code spans starting with "-": the first token must be a
+//     flag registered on at least one subcommand.
+//
+// Flags inside quoted strings (query literals and the like) are
+// ignored. `-ignore name1,name2` exempts specific flag names.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"regexp"
+	"slices"
+	"sort"
+	"strings"
+)
+
+func main() {
+	bin := flag.String("bin", "", "path to the cqabench binary to interrogate")
+	ignore := flag.String("ignore", "", "comma-separated flag names to exempt")
+	flag.Parse()
+	if *bin == "" || flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "usage: docscheck -bin <cqabench> <doc.md>...")
+		os.Exit(2)
+	}
+	ignored := map[string]bool{}
+	for _, n := range strings.Split(*ignore, ",") {
+		if n = strings.TrimSpace(n); n != "" {
+			ignored[n] = true
+		}
+	}
+
+	flagsBySub, err := interrogate(*bin)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "docscheck:", err)
+		os.Exit(1)
+	}
+	allFlags := map[string]bool{}
+	for _, fl := range flagsBySub {
+		for name := range fl {
+			allFlags[name] = true
+		}
+	}
+
+	var problems []string
+	for _, path := range flag.Args() {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "docscheck:", err)
+			os.Exit(1)
+		}
+		for _, m := range scanDoc(string(data)) {
+			if ignored[m.flag] {
+				continue
+			}
+			switch {
+			case m.sub != "":
+				fl, ok := flagsBySub[m.sub]
+				if !ok {
+					problems = append(problems, fmt.Sprintf("%s:%d: unknown subcommand %q", path, m.line, m.sub))
+					continue
+				}
+				if m.flag != "" && !fl[m.flag] {
+					problems = append(problems, fmt.Sprintf("%s:%d: cqabench %s has no flag -%s", path, m.line, m.sub, m.flag))
+				}
+			case m.flag != "" && !allFlags[m.flag]:
+				problems = append(problems, fmt.Sprintf("%s:%d: no subcommand has a flag -%s", path, m.line, m.flag))
+			}
+		}
+	}
+	if len(problems) > 0 {
+		sort.Strings(problems)
+		problems = slices.Compact(problems)
+		for _, p := range problems {
+			fmt.Fprintln(os.Stderr, p)
+		}
+		fmt.Fprintf(os.Stderr, "docscheck: %d stale doc mention(s)\n", len(problems))
+		os.Exit(1)
+	}
+	fmt.Printf("docscheck: %d doc(s) consistent with %s\n", flag.NArg(), *bin)
+}
+
+// interrogate asks the binary for its subcommands and each
+// subcommand's registered flags.
+func interrogate(bin string) (map[string]map[string]bool, error) {
+	help, _ := exec.Command(bin, "help").CombinedOutput()
+	subs := parseSubcommands(string(help))
+	if len(subs) == 0 {
+		return nil, fmt.Errorf("no subcommands parsed from %s help", bin)
+	}
+	out := make(map[string]map[string]bool, len(subs))
+	for _, sub := range subs {
+		// -h makes the flag package print usage and exit nonzero;
+		// the output is what we want regardless.
+		usage, _ := exec.Command(bin, sub, "-h").CombinedOutput()
+		out[sub] = parseFlags(string(usage))
+	}
+	return out, nil
+}
+
+var subLine = regexp.MustCompile(`^  ([a-z][a-z0-9-]*)\s{2,}\S`)
+
+// parseSubcommands extracts subcommand names from `cqabench help`.
+func parseSubcommands(help string) []string {
+	var subs []string
+	for _, line := range strings.Split(help, "\n") {
+		if m := subLine.FindStringSubmatch(line); m != nil {
+			subs = append(subs, m[1])
+		}
+	}
+	return subs
+}
+
+var flagLine = regexp.MustCompile(`^\s+-([A-Za-z][A-Za-z0-9-]*)\b`)
+
+// parseFlags extracts registered flag names from a `-h` usage dump.
+func parseFlags(usage string) map[string]bool {
+	out := map[string]bool{}
+	for _, line := range strings.Split(usage, "\n") {
+		if m := flagLine.FindStringSubmatch(line); m != nil {
+			out[m[1]] = true
+		}
+	}
+	return out
+}
+
+// mention is one doc reference to a flag (and, for invocations in
+// fenced blocks, the subcommand it was passed to).
+type mention struct {
+	line int
+	sub  string // "" for inline code spans
+	flag string // "" when only the subcommand is referenced
+}
+
+var (
+	quoted     = regexp.MustCompile(`"[^"]*"|'[^']*'`)
+	inlineSpan = regexp.MustCompile("`(-[A-Za-z][^`]*)`")
+	flagToken  = regexp.MustCompile(`^-([A-Za-z][A-Za-z0-9-]*)`)
+)
+
+// scanDoc extracts every checkable mention from a markdown document.
+func scanDoc(doc string) []mention {
+	var out []mention
+	inFence := false
+	continuation := false
+	lines := strings.Split(doc, "\n")
+	for i, line := range lines {
+		n := i + 1
+		if strings.HasPrefix(strings.TrimSpace(line), "```") {
+			inFence = !inFence
+			continuation = false
+			continue
+		}
+		if inFence {
+			// Strip shell comments (whole-line or trailing) before parsing.
+			code := line
+			if idx := strings.Index(code, "#"); idx >= 0 {
+				code = code[:idx]
+			}
+			invokes := strings.Contains(code, "cqabench")
+			if invokes || continuation {
+				out = append(out, scanInvocation(code, n)...)
+			}
+			continuation = (invokes || continuation) && strings.HasSuffix(strings.TrimRight(code, " "), "\\")
+			continue
+		}
+		for _, m := range inlineSpan.FindAllStringSubmatch(line, -1) {
+			tok := strings.Fields(m[1])[0]
+			if fm := flagToken.FindStringSubmatch(tok); fm != nil {
+				out = append(out, mention{line: n, flag: fm[1]})
+			}
+		}
+	}
+	return out
+}
+
+// scanInvocation parses one shell line invoking cqabench: the
+// subcommand is the first token after the binary, and every unquoted
+// -token is a flag mention. Continuation lines carry flags only.
+func scanInvocation(line string, n int) []mention {
+	tokens := strings.Fields(quoted.ReplaceAllString(line, `""`))
+	sub := ""
+	var out []mention
+	for i, tok := range tokens {
+		if sub == "" {
+			if tok == "cqabench" || strings.HasSuffix(tok, "/cqabench") {
+				if i+1 < len(tokens) && flagToken.FindString(tokens[i+1]) == "" {
+					sub = tokens[i+1]
+					out = append(out, mention{line: n, sub: sub})
+				}
+			}
+			continue
+		}
+		if fm := flagToken.FindStringSubmatch(tok); fm != nil {
+			out = append(out, mention{line: n, sub: sub, flag: fm[1]})
+		}
+	}
+	if sub == "" {
+		// Continuation line: flags belong to the invocation opened on a
+		// previous line; without that context, check them globally.
+		for _, tok := range tokens {
+			if fm := flagToken.FindStringSubmatch(tok); fm != nil {
+				out = append(out, mention{line: n, flag: fm[1]})
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,97 @@
+package main
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestParseSubcommands(t *testing.T) {
+	help := `cqabench — benchmarking approximate consistent query answering
+
+subcommands:
+  run       measure a scenario family with live telemetry
+  bench     continuous bench
+  runscenario  measure all schemes over an exported scenario directory
+
+environment: none
+`
+	got := parseSubcommands(help)
+	want := []string{"run", "bench", "runscenario"}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("parseSubcommands = %v, want %v", got, want)
+	}
+}
+
+func TestParseFlags(t *testing.T) {
+	usage := `Usage of run:
+  -balance float
+    	fixed balance (noise, joins scenarios)
+  -cache string
+    	synopsis cache mode: rw, ro or off (default "rw")
+  -cache-dir string
+    	content-addressed synopsis cache directory
+`
+	got := parseFlags(usage)
+	for _, name := range []string{"balance", "cache", "cache-dir"} {
+		if !got[name] {
+			t.Errorf("flag %q not parsed", name)
+		}
+	}
+	if len(got) != 3 {
+		t.Errorf("parsed %d flags, want 3: %v", len(got), got)
+	}
+}
+
+func TestScanDocFencedInvocations(t *testing.T) {
+	doc := "intro\n" +
+		"```sh\n" +
+		"# a comment mentioning cqabench run -nonexistent is ignored\n" +
+		"cqabench run -scenario noise -cache-dir /tmp/c  # trailing comment -alsoignored\n" +
+		"cqabench bench -tier smoke \\\n" +
+		"  -compare results/BENCH_smoke.json\n" +
+		"go run ./cmd/cqabench figure -id 3\n" +
+		"cqabench answer -query \"Q(x) :- R(x, -1)\"\n" +
+		"```\n"
+	got := scanDoc(doc)
+	want := []mention{
+		{line: 4, sub: "run"},
+		{line: 4, sub: "run", flag: "scenario"},
+		{line: 4, sub: "run", flag: "cache-dir"},
+		{line: 5, sub: "bench"},
+		{line: 5, sub: "bench", flag: "tier"},
+		{line: 6, flag: "compare"},
+		{line: 7, sub: "figure"},
+		{line: 7, sub: "figure", flag: "id"},
+		{line: 8, sub: "answer"},
+		{line: 8, sub: "answer", flag: "query"},
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("scanDoc:\n got %+v\nwant %+v", got, want)
+	}
+}
+
+func TestScanDocInlineSpans(t *testing.T) {
+	doc := "Tune with `-compare-mad-factor`; see `-metrics-out \"\"` and\n" +
+		"`jq -r 'stuff'` (not a flag span) and `cqabench run -x` (nor this).\n"
+	got := scanDoc(doc)
+	want := []mention{
+		{line: 1, flag: "compare-mad-factor"},
+		{line: 1, flag: "metrics-out"},
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("scanDoc:\n got %+v\nwant %+v", got, want)
+	}
+}
+
+func TestScanDocQuotedFlagsIgnored(t *testing.T) {
+	doc := "```sh\ncqabench stats -query \"Q() :- R(-1, x)\" -explain\n```\n"
+	got := scanDoc(doc)
+	want := []mention{
+		{line: 2, sub: "stats"},
+		{line: 2, sub: "stats", flag: "query"},
+		{line: 2, sub: "stats", flag: "explain"},
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("scanDoc:\n got %+v\nwant %+v", got, want)
+	}
+}

@@ -64,6 +64,10 @@ type Entry struct {
 	SamplesPerOp float64 `json:"samples_per_op"`
 	PrepNanos    int64   `json:"prep_ns"`
 	Timeouts     int     `json:"timeouts,omitempty"`
+	// PrepSource records where the scenario's synopses came from:
+	// "build" (computed), "load" (synopsis cache) or "mixed". Empty in
+	// files written before the cache existed.
+	PrepSource string `json:"prep_source,omitempty"`
 }
 
 // Result is one bench invocation: provenance manifest, tier, repetition

@@ -10,6 +10,7 @@ import (
 	"cqabench/internal/obs"
 	"cqabench/internal/obs/manifest"
 	"cqabench/internal/scenario"
+	"cqabench/internal/syncache"
 	"cqabench/internal/synopsis"
 )
 
@@ -34,6 +35,12 @@ type RunConfig struct {
 	// Progress, if set, is called after every completed (scenario,
 	// scheme) entry.
 	Progress func(Entry)
+	// Cache, if enabled, warms the synopsis store once per spec: the
+	// first bench run against a cache builds and persists every
+	// synopsis, and later runs load them and measure estimation only —
+	// which keeps BENCH_<tier>.json prep figures from polluting the
+	// scheme medians with rebuild noise.
+	Cache *syncache.Cache
 }
 
 // labSeed pins the scenario construction PRNG: bench scenarios must be
@@ -94,25 +101,43 @@ func runSpec(lab *scenario.Lab, spec Spec, schemes []cqa.Scheme, cfg RunConfig) 
 	specSpan := cfg.Trace.StartChild("bench:" + spec.Name)
 	defer specSpan.End()
 
-	// Synopses are built once and shared across schemes and repetitions,
-	// as in the harness; their wall time is the entry's prep figure.
+	// Synopses are resolved once and shared across schemes and
+	// repetitions, as in the harness; their wall time is the entry's
+	// prep figure. With a cache configured, the first run builds and
+	// stores them and every later run loads enc(syn) directly, so the
+	// prep figure of a warm bench measures decoding, not construction.
 	var sets []*synopsis.Set
+	prepSource := ""
 	prepStart := time.Now()
-	buildSpan := specSpan.StartChild("synopsis.build")
+	buildSpan := specSpan.StartChild("synopsis.resolve")
 	for _, pair := range w.Pairs {
-		set, err := synopsis.Build(pair.DB, pair.Query)
+		key := ""
+		if cfg.Cache.Enabled() {
+			key = syncache.PairKey(w, pair)
+		}
+		pair := pair
+		set, source, err := cfg.Cache.Resolve(key, func() (*synopsis.Set, error) {
+			return synopsis.Build(pair.DB, pair.Query)
+		})
 		if err != nil {
 			buildSpan.End()
 			return nil, fmt.Errorf("benchtrack: %s: %s: %w", spec.Name, pair.Name, err)
 		}
+		switch {
+		case prepSource == "":
+			prepSource = string(source)
+		case prepSource != string(source):
+			prepSource = "mixed"
+		}
 		sets = append(sets, set)
 	}
 	buildSpan.End()
+	buildSpan.Rename("synopsis." + prepSourceOr(prepSource, "resolve"))
 	prep := time.Since(prepStart)
 
 	var out []Entry
 	for _, s := range schemes {
-		e := Entry{Scenario: spec.Name, Scheme: s.String(), PrepNanos: prep.Nanoseconds()}
+		e := Entry{Scenario: spec.Name, Scheme: s.String(), PrepNanos: prep.Nanoseconds(), PrepSource: prepSource}
 		var totalSamples int64
 		for k := 0; k < cfg.K; k++ {
 			elapsed, samples, timedOut, err := oneRun(sets, s, cfg, specSpan)
@@ -158,6 +183,14 @@ func oneRun(sets []*synopsis.Set, s cqa.Scheme, cfg RunConfig, parent *obs.Span)
 		}
 	}
 	return time.Since(start), samples, false, nil
+}
+
+// prepSourceOr returns s unless empty, else the fallback.
+func prepSourceOr(s, fallback string) string {
+	if s == "" {
+		return fallback
+	}
+	return s
 }
 
 func workloadFor(lab *scenario.Lab, spec Spec) (*scenario.Workload, error) {

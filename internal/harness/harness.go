@@ -12,8 +12,10 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"runtime"
 	"sort"
 	"strings"
+	"sync"
 	"time"
 
 	"cqabench/internal/cqa"
@@ -21,6 +23,7 @@ import (
 	"cqabench/internal/obs"
 	"cqabench/internal/obs/manifest"
 	"cqabench/internal/scenario"
+	"cqabench/internal/syncache"
 	"cqabench/internal/synopsis"
 )
 
@@ -37,9 +40,21 @@ type Config struct {
 	Progress func(Measurement)
 	// Trace, if set, is the parent span the run attributes all work
 	// under: one "pair:<name>" child per pair, holding a synopsis.build
-	// span and one "cqa.<Scheme>" span tree per scheme run. The CLI's
-	// -trace-out flag exports the resulting tree via internal/obs/trace.
+	// (or, on a cache hit, synopsis.load) span and one "cqa.<Scheme>"
+	// span tree per scheme run. The CLI's -trace-out flag exports the
+	// resulting tree via internal/obs/trace.
 	Trace *obs.Span
+	// Cache, if enabled, is consulted before every synopsis build and
+	// updated after: a warm run loads enc(syn) directly and skips the
+	// build. A nil or disabled cache reproduces the uncached behavior.
+	Cache *syncache.Cache
+	// BuildWorkers bounds the worker pool that prepares synopses for
+	// the workload's pairs concurrently (cache loads and cold builds
+	// alike). 0 selects GOMAXPROCS capped at 8; 1 forces the historical
+	// sequential preparation. Preparation is deterministic regardless of
+	// the worker count: synopsis construction draws no random numbers,
+	// and results are ordered by pair, not by completion.
+	BuildWorkers int
 }
 
 // DefaultConfig mirrors the paper's experimental setting with a short
@@ -71,6 +86,9 @@ type Measurement struct {
 	// (sampler.init / estimate / other); the stage durations always sum
 	// to Elapsed exactly.
 	Stages []obs.Stage
+	// PrepSource records where the pair's synopsis came from: "build"
+	// (computed this run) or "load" (decoded from the synopsis cache).
+	PrepSource string
 }
 
 // Point aggregates the measurements of one scheme at one level.
@@ -103,9 +121,72 @@ type Figure struct {
 	Manifest *manifest.RunManifest
 }
 
+// prepared is the outcome of the synopsis-preparation phase for one
+// pair: the synopsis (loaded or built), where it came from, and the
+// wall time it took.
+type prepared struct {
+	set    *synopsis.Set
+	source syncache.Source
+	prep   time.Duration
+	err    error
+}
+
+// prepare resolves the synopses of every pair — from the cache when
+// warm, by building (and storing) when cold — over a bounded worker
+// pool. Results are indexed by pair, so downstream ordering is
+// deterministic regardless of completion order. Each pair's "pair:"
+// trace span is created here, in pair order, and stays open for the
+// measurement phase to attach scheme spans to.
+func prepare(w *scenario.Workload, cfg Config, spans []*obs.Span) []prepared {
+	workers := cfg.BuildWorkers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+		if workers > 8 {
+			workers = 8
+		}
+	}
+	if workers > len(w.Pairs) {
+		workers = len(w.Pairs)
+	}
+	out := make([]prepared, len(w.Pairs))
+	sem := make(chan struct{}, workers)
+	var wg sync.WaitGroup
+	for i := range w.Pairs {
+		spans[i] = cfg.Trace.StartChild("pair:" + w.Pairs[i].Name)
+		sem <- struct{}{}
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			pair := w.Pairs[i]
+			start := time.Now()
+			key := syncache.PairKey(w, pair)
+			if !cfg.Cache.Enabled() {
+				key = ""
+			}
+			span := spans[i].StartChild("synopsis.resolve")
+			set, source, err := cfg.Cache.Resolve(key, func() (*synopsis.Set, error) {
+				return synopsis.Build(pair.DB, pair.Query)
+			})
+			span.End()
+			// Rename the span after the fact so traces show what
+			// actually happened: a load or a build.
+			span.Rename("synopsis." + string(source))
+			out[i] = prepared{set: set, source: source, prep: time.Since(start), err: err}
+		}(i)
+	}
+	wg.Wait()
+	return out
+}
+
 // Run measures every configured scheme on every pair of the workload,
 // using level(pair) as the x-axis value. The synopsis of each pair is
-// computed once and shared across schemes, as in Section 5.
+// computed once and shared across schemes, as in Section 5; with a
+// cache configured, it is loaded from disk instead whenever the pair's
+// content address hits (the prep phase of a warm run is then pure
+// decoding). Cold synopses are prepared concurrently (Config.
+// BuildWorkers); the scheme measurements themselves stay strictly
+// sequential so timings are never distorted by a concurrent build.
 func Run(w *scenario.Workload, cfg Config, level func(scenario.Pair) float64) (*Figure, error) {
 	schemes := cfg.Schemes
 	if len(schemes) == 0 {
@@ -121,17 +202,17 @@ func Run(w *scenario.Workload, cfg Config, level func(scenario.Pair) float64) (*
 		// zero) even before the first timeout occurs.
 		reg.Counter("harness_timeouts_total", obs.L("scheme", s.String()))
 	}
-	for _, pair := range w.Pairs {
-		pairSpan := cfg.Trace.StartChild("pair:" + pair.Name)
-		buildSpan := pairSpan.StartChild("synopsis.build")
-		prepStart := time.Now()
-		set, err := synopsis.Build(pair.DB, pair.Query)
-		buildSpan.End()
-		if err != nil {
-			pairSpan.End()
-			return nil, fmt.Errorf("harness: %s: %w", pair.Name, err)
+	pairSpans := make([]*obs.Span, len(w.Pairs))
+	preps := prepare(w, cfg, pairSpans)
+	for i, pair := range w.Pairs {
+		pairSpan := pairSpans[i]
+		if preps[i].err != nil {
+			for _, ps := range pairSpans[i:] {
+				ps.End()
+			}
+			return nil, fmt.Errorf("harness: %s: %w", pair.Name, preps[i].err)
 		}
-		prep := time.Since(prepStart)
+		set, prep := preps[i].set, preps[i].prep
 		fig.PrepTimes = append(fig.PrepTimes, prep)
 		fig.Balances = append(fig.Balances, pair.Balance)
 		lv := level(pair)
@@ -144,17 +225,20 @@ func Run(w *scenario.Workload, cfg Config, level func(scenario.Pair) float64) (*
 			_, stats, err := cqa.ApxAnswersFromSetTraced(set, s, opts, pairSpan)
 			elapsed := time.Since(start)
 			m := Measurement{
-				Pair:    pair.Name,
-				Scheme:  s,
-				Level:   lv,
-				Elapsed: elapsed,
-				Prep:    prep,
-				Samples: stats.Samples,
-				Tuples:  stats.NumTuples,
+				Pair:       pair.Name,
+				Scheme:     s,
+				Level:      lv,
+				Elapsed:    elapsed,
+				Prep:       prep,
+				Samples:    stats.Samples,
+				Tuples:     stats.NumTuples,
+				PrepSource: string(preps[i].source),
 			}
 			if err != nil {
 				if !errors.Is(err, estimator.ErrBudget) {
-					pairSpan.End()
+					for _, ps := range pairSpans[i:] {
+						ps.End()
+					}
 					return nil, fmt.Errorf("harness: %s %v: %w", pair.Name, s, err)
 				}
 				m.TimedOut = true

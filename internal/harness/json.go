@@ -45,6 +45,7 @@ type measurementJSON struct {
 	Tuples      int         `json:"tuples"`
 	TimedOut    bool        `json:"timed_out,omitempty"`
 	Reason      string      `json:"reason,omitempty"`
+	PrepSource  string      `json:"prep_source,omitempty"`
 	Stages      []stageJSON `json:"stages,omitempty"`
 }
 
@@ -87,6 +88,7 @@ func (f *Figure) WriteJSON(w io.Writer) error {
 			Tuples:      m.Tuples,
 			TimedOut:    m.TimedOut,
 			Reason:      m.Reason,
+			PrepSource:  m.PrepSource,
 		}
 		for _, st := range m.Stages {
 			mj.Stages = append(mj.Stages, stageJSON{Name: st.Name, DurNano: st.Dur.Nanoseconds(), Count: st.Count})

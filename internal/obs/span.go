@@ -2,6 +2,7 @@ package obs
 
 import (
 	"context"
+	"sync"
 	"time"
 )
 
@@ -10,8 +11,11 @@ import (
 // parent's duration, and Stages/Tree aggregate them afterwards.
 //
 // All methods are nil-safe, so instrumented code can run untraced by
-// passing a nil span.
+// passing a nil span, and safe for concurrent use: the harness prepares
+// synopses over a worker pool, each worker extending its own pair span
+// while the parent is still open.
 type Span struct {
+	mu       sync.Mutex
 	name     string
 	start    time.Time
 	end      time.Time
@@ -30,8 +34,22 @@ func (s *Span) StartChild(name string) *Span {
 		return nil
 	}
 	c := &Span{name: name, start: time.Now()}
+	s.mu.Lock()
 	s.children = append(s.children, c)
+	s.mu.Unlock()
 	return c
+}
+
+// Rename changes the span's stage name. The harness uses it to label a
+// synopsis-preparation span with what actually happened ("synopsis.load"
+// vs "synopsis.build") once the cache lookup has resolved.
+func (s *Span) Rename(name string) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.name = name
+	s.mu.Unlock()
 }
 
 // End marks the span finished. Calling End twice keeps the first end
@@ -39,27 +57,49 @@ func (s *Span) StartChild(name string) *Span {
 // ends (or clamps) any still-running descendants at the parent's end
 // time, so Stages and Tree never attribute time past the parent's end.
 func (s *Span) End() {
-	if s == nil || !s.end.IsZero() {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	if !s.end.IsZero() {
+		s.mu.Unlock()
 		return
 	}
 	s.end = time.Now()
-	for _, c := range s.children {
-		c.clampTo(s.end)
+	end, children := s.end, s.snapshotChildrenLocked()
+	s.mu.Unlock()
+	for _, c := range children {
+		c.clampTo(end)
 	}
+}
+
+// snapshotChildrenLocked copies the child list; the caller holds s.mu.
+func (s *Span) snapshotChildrenLocked() []*Span {
+	return append([]*Span(nil), s.children...)
+}
+
+// snapshotChildren copies the child list under the span's lock.
+func (s *Span) snapshotChildren() []*Span {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.snapshotChildrenLocked()
 }
 
 // clampTo ends a still-running span at t, pulls back an end time past t,
 // and recursively applies the same bound to the subtree. A span that
 // started after t gets a zero duration rather than a negative one.
 func (s *Span) clampTo(t time.Time) {
+	s.mu.Lock()
 	if s.end.IsZero() || s.end.After(t) {
 		if t.Before(s.start) {
 			t = s.start
 		}
 		s.end = t
 	}
-	for _, c := range s.children {
-		c.clampTo(s.end)
+	end, children := s.end, s.snapshotChildrenLocked()
+	s.mu.Unlock()
+	for _, c := range children {
+		c.clampTo(end)
 	}
 }
 
@@ -77,6 +117,8 @@ func (s *Span) EndTime() time.Time {
 	if s == nil {
 		return time.Time{}
 	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	return s.end
 }
 
@@ -85,6 +127,8 @@ func (s *Span) Name() string {
 	if s == nil {
 		return ""
 	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	return s.name
 }
 
@@ -93,6 +137,8 @@ func (s *Span) Duration() time.Duration {
 	if s == nil {
 		return 0
 	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	if s.end.IsZero() {
 		return time.Since(s.start)
 	}
@@ -111,22 +157,27 @@ type Stage struct {
 // order, and appends an "other" stage holding the span's own time not
 // covered by any child. Returns nil for a childless or nil span.
 func (s *Span) Stages() []Stage {
-	if s == nil || len(s.children) == 0 {
+	if s == nil {
+		return nil
+	}
+	children := s.snapshotChildren()
+	if len(children) == 0 {
 		return nil
 	}
 	idx := make(map[string]int)
 	var out []Stage
 	var covered time.Duration
-	for _, c := range s.children {
+	for _, c := range children {
 		d := c.Duration()
+		name := c.Name()
 		covered += d
-		if i, ok := idx[c.name]; ok {
+		if i, ok := idx[name]; ok {
 			out[i].Dur += d
 			out[i].Count++
 			continue
 		}
-		idx[c.name] = len(out)
-		out = append(out, Stage{Name: c.name, Dur: d, Count: 1})
+		idx[name] = len(out)
+		out = append(out, Stage{Name: name, Dur: d, Count: 1})
 	}
 	if rest := s.Duration() - covered; rest > 0 {
 		out = append(out, Stage{Name: "other", Dur: rest, Count: 1})
@@ -150,8 +201,8 @@ func (s *Span) Tree() Node {
 	if s == nil {
 		return Node{}
 	}
-	n := Node{Name: s.name, DurNanos: s.Duration().Nanoseconds(), Count: 1}
-	n.Children = mergeChildren(s.children)
+	n := Node{Name: s.Name(), DurNanos: s.Duration().Nanoseconds(), Count: 1}
+	n.Children = mergeChildren(s.snapshotChildren())
 	return n
 }
 
@@ -163,14 +214,15 @@ func mergeChildren(spans []*Span) []Node {
 	var out []Node
 	grouped := make(map[string][]*Span)
 	for _, c := range spans {
-		if _, ok := idx[c.name]; !ok {
-			idx[c.name] = len(out)
-			out = append(out, Node{Name: c.name})
+		name := c.Name()
+		if _, ok := idx[name]; !ok {
+			idx[name] = len(out)
+			out = append(out, Node{Name: name})
 		}
-		i := idx[c.name]
+		i := idx[name]
 		out[i].DurNanos += c.Duration().Nanoseconds()
 		out[i].Count++
-		grouped[c.name] = append(grouped[c.name], c.children...)
+		grouped[name] = append(grouped[name], c.snapshotChildren()...)
 	}
 	for i := range out {
 		out[i].Children = mergeChildren(grouped[out[i].Name])
@@ -203,6 +255,7 @@ func (s *Span) Data() SpanData {
 }
 
 func (s *Span) data(deadline time.Time) SpanData {
+	s.mu.Lock()
 	end := s.end
 	if end.IsZero() || end.After(deadline) {
 		end = deadline
@@ -211,7 +264,9 @@ func (s *Span) data(deadline time.Time) SpanData {
 		end = s.start
 	}
 	d := SpanData{Name: s.name, Start: s.start, End: end}
-	for _, c := range s.children {
+	children := s.snapshotChildrenLocked()
+	s.mu.Unlock()
+	for _, c := range children {
 		d.Children = append(d.Children, c.data(end))
 	}
 	return d

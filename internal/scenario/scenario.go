@@ -77,6 +77,16 @@ func PaperConfig() Config {
 	}
 }
 
+// Fingerprint renders the configuration canonically: two Configs have
+// equal fingerprints iff the Lab deterministically generates the same
+// pair universe from them. The synopsis cache uses it as the
+// scenario-config component of its content address.
+func (c Config) Fingerprint() string {
+	return fmt.Sprintf("tpch sf=%g seed=%d qpj=%d const=%d block=[%d,%d] dqg=%d sqg=%d maxhoms=%d",
+		c.ScaleFactor, c.Seed, c.QueriesPerJoin, c.Constants,
+		c.BlockMin, c.BlockMax, c.DQGIterations, c.SQGTries, c.MaxHoms)
+}
+
 // PaperNoiseLevels returns the paper's noise grid {0.1, ..., 1.0}.
 func PaperNoiseLevels() []float64 {
 	out := make([]float64, 10)
@@ -114,6 +124,12 @@ type Pair struct {
 type Workload struct {
 	Name  string
 	Pairs []Pair
+	// Fingerprint canonically identifies the generator configuration
+	// that produced the pairs (Config.Fingerprint for Lab-built
+	// workloads). The synopsis cache keys on it; an empty fingerprint
+	// marks a workload whose provenance is unknown (e.g. one read back
+	// from an export directory) and disables caching for its pairs.
+	Fingerprint string
 }
 
 // Lab builds and caches the P_H-style pair universe.
@@ -277,7 +293,7 @@ func (l *Lab) pair(j, i int, p, q float64) (Pair, error) {
 // NoiseScenario builds Noise[balance, joins]: noise varies over levels,
 // balance and joins fixed (Figure 1 and Appendix Figures 6–7).
 func (l *Lab) NoiseScenario(balance float64, joins int, levels []float64) (*Workload, error) {
-	w := &Workload{Name: fmt.Sprintf("Noise[%.1f, %d]", balance, joins)}
+	w := &Workload{Name: fmt.Sprintf("Noise[%.1f, %d]", balance, joins), Fingerprint: l.cfg.Fingerprint()}
 	for _, p := range levels {
 		for i := 0; i < l.cfg.QueriesPerJoin; i++ {
 			pr, err := l.pair(joins, i, p, balance)
@@ -293,7 +309,7 @@ func (l *Lab) NoiseScenario(balance float64, joins int, levels []float64) (*Work
 // BalanceScenario builds Balance[noise, joins]: balance varies, noise and
 // joins fixed (Figure 2 and Appendix Figures 8–9).
 func (l *Lab) BalanceScenario(noisep float64, joins int, levels []float64) (*Workload, error) {
-	w := &Workload{Name: fmt.Sprintf("Balance[%.1f, %d]", noisep, joins)}
+	w := &Workload{Name: fmt.Sprintf("Balance[%.1f, %d]", noisep, joins), Fingerprint: l.cfg.Fingerprint()}
 	for _, q := range levels {
 		for i := 0; i < l.cfg.QueriesPerJoin; i++ {
 			pr, err := l.pair(joins, i, noisep, q)
@@ -309,7 +325,7 @@ func (l *Lab) BalanceScenario(noisep float64, joins int, levels []float64) (*Wor
 // JoinsScenario builds Joins[noise, balance]: the join count varies, noise
 // and balance fixed (Figure 4 and Appendix Figures 10–13).
 func (l *Lab) JoinsScenario(noisep, balance float64, joinLevels []int) (*Workload, error) {
-	w := &Workload{Name: fmt.Sprintf("Joins[%.1f, %.1f]", noisep, balance)}
+	w := &Workload{Name: fmt.Sprintf("Joins[%.1f, %.1f]", noisep, balance), Fingerprint: l.cfg.Fingerprint()}
 	for _, j := range joinLevels {
 		for i := 0; i < l.cfg.QueriesPerJoin; i++ {
 			pr, err := l.pair(j, i, noisep, balance)

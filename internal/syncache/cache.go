@@ -1,0 +1,248 @@
+package syncache
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"cqabench/internal/obs"
+	"cqabench/internal/scenario"
+	"cqabench/internal/synopsis"
+)
+
+// Mode controls what a Cache is allowed to do with the disk.
+type Mode int
+
+const (
+	// ModeOff disables the cache entirely: every lookup misses and
+	// nothing is written. A nil *Cache behaves the same.
+	ModeOff Mode = iota
+	// ModeRead loads existing entries but never writes new ones — for
+	// reproducing results against a frozen cache, or read-only media.
+	ModeRead
+	// ModeReadWrite loads existing entries and stores fresh builds.
+	ModeReadWrite
+)
+
+// ParseMode parses the CLI spelling of a mode: "off", "ro" or "rw".
+func ParseMode(s string) (Mode, error) {
+	switch s {
+	case "off":
+		return ModeOff, nil
+	case "ro":
+		return ModeRead, nil
+	case "rw":
+		return ModeReadWrite, nil
+	default:
+		return ModeOff, fmt.Errorf("syncache: unknown cache mode %q (want off, ro or rw)", s)
+	}
+}
+
+func (m Mode) String() string {
+	switch m {
+	case ModeRead:
+		return "ro"
+	case ModeReadWrite:
+		return "rw"
+	default:
+		return "off"
+	}
+}
+
+// Cache is a content-addressed store of encoded synopses: entry k lives
+// at <dir>/<k[:2]>/<k>.syn, where k is the hex key returned by Key or
+// PairKey. All methods are safe for concurrent use (the file system
+// provides the synchronization: writes are temp-file + rename, so a
+// reader never observes a partial entry) and nil-safe, so call sites
+// need no cache-enabled checks.
+type Cache struct {
+	dir  string
+	mode Mode
+}
+
+// Open returns a cache rooted at dir. In ModeReadWrite the directory is
+// created if missing; in ModeRead it may be absent (every lookup then
+// misses). Opening with an empty dir or ModeOff yields a disabled cache.
+func Open(dir string, mode Mode) (*Cache, error) {
+	if dir == "" || mode == ModeOff {
+		return &Cache{mode: ModeOff}, nil
+	}
+	if mode == ModeReadWrite {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return nil, fmt.Errorf("syncache: %w", err)
+		}
+	}
+	return &Cache{dir: dir, mode: mode}, nil
+}
+
+// Enabled reports whether lookups can ever hit.
+func (c *Cache) Enabled() bool {
+	return c != nil && c.mode != ModeOff && c.dir != ""
+}
+
+// Dir returns the cache root ("" when disabled).
+func (c *Cache) Dir() string {
+	if c == nil {
+		return ""
+	}
+	return c.dir
+}
+
+// Mode returns the cache's mode (ModeOff on nil).
+func (c *Cache) Mode() Mode {
+	if c == nil {
+		return ModeOff
+	}
+	return c.mode
+}
+
+// path maps a key to its file. Two hex characters of fan-out keep
+// directory listings manageable for large caches.
+func (c *Cache) path(key string) string {
+	return filepath.Join(c.dir, key[:2], key+".syn")
+}
+
+// Get loads the synopsis stored under key. A missing entry is a plain
+// miss; an unreadable or corrupt entry is also treated as a miss (and
+// counted in syncache_corrupt_total) so a damaged cache degrades to a
+// rebuild, never a failure. In read-write mode a corrupt entry is
+// removed so the slot heals on the next Put.
+func (c *Cache) Get(key string) (*synopsis.Set, bool) {
+	if !c.Enabled() || len(key) < 2 {
+		return nil, false
+	}
+	r := obs.Default()
+	start := time.Now()
+	data, err := os.ReadFile(c.path(key))
+	if err != nil {
+		r.Counter("syncache_misses_total").Inc()
+		return nil, false
+	}
+	set, err := DecodeBytes(data)
+	if err != nil {
+		r.Counter("syncache_misses_total").Inc()
+		r.Counter("syncache_corrupt_total").Inc()
+		if c.mode == ModeReadWrite {
+			os.Remove(c.path(key))
+		}
+		return nil, false
+	}
+	r.Counter("syncache_hits_total").Inc()
+	r.Histogram("syncache_load_seconds").Observe(time.Since(start).Seconds())
+	return set, true
+}
+
+// Put stores the synopsis under key. A no-op outside read-write mode.
+// The write is atomic (temp file + rename), so concurrent readers and
+// crashed writers never leave a partial entry behind.
+func (c *Cache) Put(key string, set *synopsis.Set) error {
+	if !c.Enabled() || c.mode != ModeReadWrite || len(key) < 2 {
+		return nil
+	}
+	start := time.Now()
+	path := c.path(key)
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return fmt.Errorf("syncache: %w", err)
+	}
+	tmp, err := os.CreateTemp(filepath.Dir(path), "."+filepath.Base(path)+".tmp*")
+	if err != nil {
+		return fmt.Errorf("syncache: %w", err)
+	}
+	if err := Encode(tmp, set); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return fmt.Errorf("syncache: %w", err)
+	}
+	info, _ := tmp.Stat()
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("syncache: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("syncache: %w", err)
+	}
+	r := obs.Default()
+	r.Counter("syncache_stores_total").Inc()
+	if info != nil {
+		r.Counter("syncache_bytes_written_total").Add(info.Size())
+	}
+	r.Histogram("syncache_store_seconds").Observe(time.Since(start).Seconds())
+	return nil
+}
+
+// Source tells a caller of Resolve where its synopsis came from.
+type Source string
+
+const (
+	// SourceBuild means the synopsis was computed by synopsis.Build.
+	SourceBuild Source = "build"
+	// SourceLoad means the synopsis was decoded from the cache.
+	SourceLoad Source = "load"
+)
+
+// Resolve is the load-or-build step shared by the harness and the
+// continuous bench: it returns the cached synopsis under key if
+// present, and otherwise builds one and (in read-write mode) stores it.
+// An empty key or disabled cache always builds. Store failures are
+// reported through syncache_store_errors_total but do not fail the
+// resolve — the build result is still returned.
+func (c *Cache) Resolve(key string, build func() (*synopsis.Set, error)) (*synopsis.Set, Source, error) {
+	if key != "" {
+		if set, ok := c.Get(key); ok {
+			return set, SourceLoad, nil
+		}
+	}
+	set, err := build()
+	if err != nil {
+		return nil, SourceBuild, err
+	}
+	if key != "" {
+		if err := c.Put(key, set); err != nil {
+			obs.Default().Counter("syncache_store_errors_total").Inc()
+		}
+	}
+	return set, SourceBuild, nil
+}
+
+// Key derives a content address from an ordered list of input
+// fingerprints. The codec version is folded in, so a codec bump
+// invalidates every existing entry instead of misreading it, and each
+// part is length-framed, so no two part lists collide by concatenation.
+func Key(parts ...string) string {
+	h := sha256.New()
+	h.Write([]byte("cqabench/syncache"))
+	var buf [binary.MaxVarintLen64]byte
+	h.Write(buf[:binary.PutUvarint(buf[:], Version)])
+	for _, p := range parts {
+		h.Write(buf[:binary.PutUvarint(buf[:], uint64(len(p)))])
+		h.Write([]byte(p))
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// PairKey is the cache key of one scenario pair: it fingerprints
+// everything that determines the pair's synopsis — the scenario
+// generator configuration (which fixes the base database, the noise
+// injection and the query generators), the workload and pair identity,
+// the pair's full-precision parameters (pair names round levels to one
+// decimal, so 0.25 and 0.2 would otherwise collide), and the canonical
+// rendering of the query itself. Returns "" (disabling caching for the
+// pair) when the workload carries no generator fingerprint, e.g. for
+// workloads loaded from an export directory.
+func PairKey(w *scenario.Workload, p scenario.Pair) string {
+	if w.Fingerprint == "" {
+		return ""
+	}
+	return Key(
+		w.Fingerprint,
+		w.Name,
+		p.Name,
+		fmt.Sprintf("noise=%g balance=%g joins=%d", p.Noise, p.Target, p.Joins),
+		p.Query.Render(p.DB.Dict),
+	)
+}

@@ -1,0 +1,168 @@
+package syncache
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"cqabench/internal/synopsis"
+)
+
+func TestCachePutGet(t *testing.T) {
+	c, err := Open(t.TempDir(), ModeReadWrite)
+	if err != nil {
+		t.Fatal(err)
+	}
+	set := testSets()["rich"]
+	key := Key("put-get")
+	if _, ok := c.Get(key); ok {
+		t.Fatal("Get hit before Put")
+	}
+	if err := c.Put(key, set); err != nil {
+		t.Fatalf("Put: %v", err)
+	}
+	got, ok := c.Get(key)
+	if !ok {
+		t.Fatal("Get missed after Put")
+	}
+	if !reflect.DeepEqual(got, set) {
+		t.Errorf("Get returned a different set:\n got %#v\nwant %#v", got, set)
+	}
+}
+
+func TestCacheReadOnlyNeverWrites(t *testing.T) {
+	dir := t.TempDir()
+	c, err := Open(dir, ModeRead)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := Key("ro")
+	if err := c.Put(key, testSets()["rich"]); err != nil {
+		t.Fatalf("Put in ro mode: %v", err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 0 {
+		t.Fatalf("ro Put wrote %d entries to disk", len(entries))
+	}
+}
+
+func TestCacheCorruptEntryIsAMiss(t *testing.T) {
+	dir := t.TempDir()
+	c, err := Open(dir, ModeReadWrite)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := Key("corrupt")
+	if err := c.Put(key, testSets()["rich"]); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, key[:2], key+".syn")
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data[:len(data)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c.Get(key); ok {
+		t.Fatal("Get hit on a truncated entry")
+	}
+	// In read-write mode the corrupt entry is removed so the slot heals.
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Errorf("corrupt entry not removed: stat err = %v", err)
+	}
+	if err := c.Put(key, testSets()["rich"]); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c.Get(key); !ok {
+		t.Fatal("slot did not heal after re-Put")
+	}
+}
+
+func TestResolveBuildsOnceThenLoads(t *testing.T) {
+	c, err := Open(t.TempDir(), ModeReadWrite)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := Key("resolve")
+	builds := 0
+	build := func() (*synopsis.Set, error) {
+		builds++
+		return testSets()["rich"], nil
+	}
+	set, source, err := c.Resolve(key, build)
+	if err != nil || set == nil {
+		t.Fatalf("cold Resolve: set=%v err=%v", set, err)
+	}
+	if source != SourceBuild || builds != 1 {
+		t.Fatalf("cold Resolve: source=%q builds=%d", source, builds)
+	}
+	set2, source, err := c.Resolve(key, build)
+	if err != nil {
+		t.Fatalf("warm Resolve: %v", err)
+	}
+	if source != SourceLoad || builds != 1 {
+		t.Fatalf("warm Resolve: source=%q builds=%d (want load, 1)", source, builds)
+	}
+	if !reflect.DeepEqual(set2, set) {
+		t.Error("warm Resolve returned a different set")
+	}
+}
+
+func TestResolveEmptyKeyAlwaysBuilds(t *testing.T) {
+	c, err := Open(t.TempDir(), ModeReadWrite)
+	if err != nil {
+		t.Fatal(err)
+	}
+	builds := 0
+	for i := 0; i < 2; i++ {
+		_, source, err := c.Resolve("", func() (*synopsis.Set, error) {
+			builds++
+			return testSets()["rich"], nil
+		})
+		if err != nil || source != SourceBuild {
+			t.Fatalf("Resolve(\"\"): source=%q err=%v", source, err)
+		}
+	}
+	if builds != 2 {
+		t.Fatalf("empty key cached anyway: %d builds", builds)
+	}
+}
+
+func TestNilCacheIsDisabled(t *testing.T) {
+	var c *Cache
+	if c.Enabled() {
+		t.Error("nil cache reports enabled")
+	}
+	if _, ok := c.Get(Key("x")); ok {
+		t.Error("nil cache Get hit")
+	}
+	if err := c.Put(Key("x"), testSets()["rich"]); err != nil {
+		t.Errorf("nil cache Put: %v", err)
+	}
+	set, source, err := c.Resolve(Key("x"), func() (*synopsis.Set, error) {
+		return testSets()["rich"], nil
+	})
+	if err != nil || set == nil || source != SourceBuild {
+		t.Errorf("nil cache Resolve: set=%v source=%q err=%v", set, source, err)
+	}
+}
+
+func TestKeyFraming(t *testing.T) {
+	if Key("ab", "c") == Key("a", "bc") {
+		t.Error("keys collide across part boundaries (length framing broken)")
+	}
+	if Key("a") == Key("a", "") {
+		t.Error("trailing empty part does not change the key")
+	}
+	if Key("a") != Key("a") {
+		t.Error("Key is not deterministic")
+	}
+	if len(Key("a")) != 64 {
+		t.Errorf("key length %d, want 64 hex chars", len(Key("a")))
+	}
+}

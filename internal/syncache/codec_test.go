@@ -1,0 +1,198 @@
+package syncache
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"flag"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"cqabench/internal/relation"
+	"cqabench/internal/synopsis"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// testSets returns named synopsis sets covering the codec's edge cases:
+// the empty set, a boolean (empty-tuple) answer, negative dictionary
+// values, multi-relation fact lists and multi-image pairs.
+func testSets() map[string]*synopsis.Set {
+	return map[string]*synopsis.Set{
+		"empty": {},
+		"boolean": {
+			HomomorphicSize: 1,
+			Entries: []synopsis.Entry{{
+				Tuple: relation.Tuple{},
+				Facts: []relation.FactRef{{Rel: 0, Row: 0}},
+				Pair: &synopsis.Admissible{
+					BlockSizes: []int32{1},
+					Images:     []synopsis.Image{{{Block: 0, Fact: 0}}},
+				},
+			}},
+		},
+		"rich": {
+			HomomorphicSize: 3,
+			Entries: []synopsis.Entry{
+				{
+					Tuple: relation.Tuple{-7, 0, 1 << 40},
+					Facts: []relation.FactRef{
+						{Rel: 0, Row: 2}, {Rel: 0, Row: 9}, {Rel: 2, Row: 0}, {Rel: 2, Row: 1},
+					},
+					Pair: &synopsis.Admissible{
+						BlockSizes: []int32{3, 1, 2},
+						Images: []synopsis.Image{
+							{{Block: 0, Fact: 0}, {Block: 2, Fact: 1}},
+							{{Block: 0, Fact: 2}, {Block: 1, Fact: 0}, {Block: 2, Fact: 0}},
+						},
+					},
+				},
+				{
+					Tuple: relation.Tuple{42},
+					Facts: []relation.FactRef{{Rel: 1, Row: 5}},
+					Pair: &synopsis.Admissible{
+						BlockSizes: []int32{4},
+						Images:     []synopsis.Image{{{Block: 0, Fact: 3}}},
+					},
+				},
+			},
+		},
+	}
+}
+
+func encodeBytes(t *testing.T, set *synopsis.Set) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := Encode(&buf, set); err != nil {
+		t.Fatalf("Encode: %v", err)
+	}
+	return buf.Bytes()
+}
+
+func TestCodecRoundTrip(t *testing.T) {
+	for name, set := range testSets() {
+		t.Run(name, func(t *testing.T) {
+			data := encodeBytes(t, set)
+			got, err := DecodeBytes(data)
+			if err != nil {
+				t.Fatalf("DecodeBytes: %v", err)
+			}
+			if !reflect.DeepEqual(got, set) {
+				t.Errorf("round trip mismatch:\n got %#v\nwant %#v", got, set)
+			}
+			// Canonical determinism: re-encoding the decoded set must
+			// reproduce the file byte for byte (content addressing
+			// depends on it).
+			if again := encodeBytes(t, got); !bytes.Equal(again, data) {
+				t.Errorf("re-encoding is not byte-identical (%d vs %d bytes)", len(again), len(data))
+			}
+		})
+	}
+}
+
+func TestEncodeNil(t *testing.T) {
+	if err := Encode(&bytes.Buffer{}, nil); err == nil {
+		t.Fatal("Encode(nil set) succeeded")
+	}
+}
+
+// TestGolden pins the byte-level layout: a codec change that alters the
+// encoding of the committed golden file must bump Version (and
+// regenerate goldens with -update).
+func TestGolden(t *testing.T) {
+	set := testSets()["rich"]
+	data := encodeBytes(t, set)
+	path := filepath.Join("testdata", "rich_v1.syn")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("golden file missing (regenerate with go test -run TestGolden -update): %v", err)
+	}
+	if !bytes.Equal(data, want) {
+		t.Fatalf("encoding of the golden set changed (%d vs %d bytes): bump Version and regenerate with -update", len(data), len(want))
+	}
+	got, err := DecodeBytes(want)
+	if err != nil {
+		t.Fatalf("decoding golden file: %v", err)
+	}
+	if !reflect.DeepEqual(got, set) {
+		t.Errorf("golden decode mismatch:\n got %#v\nwant %#v", got, set)
+	}
+}
+
+func TestDecodeRejectsBadMagic(t *testing.T) {
+	data := encodeBytes(t, testSets()["rich"])
+	data[0] = 'X'
+	if _, err := DecodeBytes(data); !errors.Is(err, ErrBadMagic) {
+		t.Fatalf("got %v, want ErrBadMagic", err)
+	}
+}
+
+func TestDecodeRejectsVersionMismatch(t *testing.T) {
+	// Hand-build a file claiming codec version 99: the version check
+	// fires before any framing or checksum is read.
+	data := append([]byte(nil), magic[:]...)
+	data = binary.AppendUvarint(data, 99)
+	if _, err := DecodeBytes(data); !errors.Is(err, ErrVersion) {
+		t.Fatalf("got %v, want ErrVersion", err)
+	}
+}
+
+func TestDecodeRejectsTruncation(t *testing.T) {
+	data := encodeBytes(t, testSets()["rich"])
+	for n := 0; n < len(data); n++ {
+		if _, err := DecodeBytes(data[:n]); err == nil {
+			t.Fatalf("decoding a %d/%d-byte prefix succeeded", n, len(data))
+		}
+	}
+}
+
+func TestDecodeRejectsChecksumFlip(t *testing.T) {
+	data := encodeBytes(t, testSets()["rich"])
+	// Flip one payload bit: either the CRC catches it, or — if the flip
+	// survives into a structurally invalid payload — validation does.
+	for i := 8; i < len(data); i += 7 {
+		mutated := append([]byte(nil), data...)
+		mutated[i] ^= 0x10
+		if _, err := DecodeBytes(mutated); err == nil {
+			t.Fatalf("decoding with byte %d flipped succeeded", i)
+		}
+	}
+}
+
+func TestDecodeRejectsTrailingBytes(t *testing.T) {
+	data := encodeBytes(t, testSets()["rich"])
+	if _, err := DecodeBytes(append(data, 0)); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("got %v, want ErrCorrupt for trailing bytes", err)
+	}
+}
+
+func TestDecodeRejectsStructuralViolations(t *testing.T) {
+	// An admissible pair with an untouched block is structurally invalid
+	// even though it frames and checksums correctly: decode must run
+	// Validate and reject it.
+	bad := &synopsis.Set{
+		HomomorphicSize: 1,
+		Entries: []synopsis.Entry{{
+			Tuple: relation.Tuple{1},
+			Facts: []relation.FactRef{{Rel: 0, Row: 0}},
+			Pair: &synopsis.Admissible{
+				BlockSizes: []int32{1, 1}, // block 1 appears in no image
+				Images:     []synopsis.Image{{{Block: 0, Fact: 0}}},
+			},
+		}},
+	}
+	data := encodeBytes(t, bad)
+	if _, err := DecodeBytes(data); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("got %v, want ErrCorrupt for invalid admissible pair", err)
+	}
+}

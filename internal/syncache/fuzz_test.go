@@ -1,0 +1,50 @@
+package syncache
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+)
+
+// FuzzCodecRoundTrip checks the codec's safety net: any input the
+// decoder accepts must survive a re-encode/re-decode cycle unchanged,
+// and the re-encoding must be stable (canonical bytes), while every
+// rejected input must fail without panicking or over-allocating.
+func FuzzCodecRoundTrip(f *testing.F) {
+	for _, set := range testSets() {
+		var buf bytes.Buffer
+		if err := Encode(&buf, set); err != nil {
+			f.Fatal(err)
+		}
+		f.Add(buf.Bytes())
+	}
+	f.Add([]byte("CQSY"))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		set, err := DecodeBytes(data)
+		if err != nil {
+			return // rejected input: only "no panic" is required
+		}
+		var buf bytes.Buffer
+		if err := Encode(&buf, set); err != nil {
+			t.Fatalf("re-encoding an accepted set failed: %v", err)
+		}
+		// The fuzzer may feed non-minimal varints, so the re-encoding
+		// need not match the input bytes — but it must be canonical:
+		// decoding it yields an equal set and identical bytes again.
+		again, err := DecodeBytes(buf.Bytes())
+		if err != nil {
+			t.Fatalf("decoding a re-encoded set failed: %v", err)
+		}
+		if !reflect.DeepEqual(again, set) {
+			t.Fatalf("re-decode mismatch:\n got %#v\nwant %#v", again, set)
+		}
+		var buf2 bytes.Buffer
+		if err := Encode(&buf2, again); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(buf2.Bytes(), buf.Bytes()) {
+			t.Fatal("canonical encoding is not byte-stable")
+		}
+	})
+}
