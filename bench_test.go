@@ -463,6 +463,86 @@ func BenchmarkAblation_ExactAlgorithms(b *testing.B) {
 	})
 }
 
+// kernelPair builds the large-|H| low-coverage regime where the
+// first-member index pays: many images over large blocks, so the plain
+// kernels scan (nearly) all of |H| per draw.
+func kernelPair() *synopsis.Admissible {
+	pair := &synopsis.Admissible{}
+	const nBlocks = 30
+	const blockSize = 24
+	for bk := 0; bk < nBlocks; bk++ {
+		pair.BlockSizes = append(pair.BlockSizes, blockSize)
+	}
+	src := mt.New(3)
+	for i := 0; i < 3000; i++ {
+		b1 := int32(src.Intn(nBlocks))
+		b2 := int32(src.Intn(nBlocks))
+		img := synopsis.Image{{Block: b1, Fact: int32(src.Intn(blockSize))}}
+		if b2 != b1 {
+			img = append(img, synopsis.Member{Block: b2, Fact: int32(src.Intn(blockSize))})
+		}
+		pair.Images = append(pair.Images, img)
+	}
+	pair.Canonicalize()
+	touched := make([]bool, nBlocks)
+	for _, img := range pair.Images {
+		for _, m := range img {
+			touched[m.Block] = true
+		}
+	}
+	for bk, ok := range touched {
+		if !ok {
+			pair.Images = append(pair.Images, synopsis.Image{{Block: int32(bk), Fact: 0}})
+		}
+	}
+	pair.Canonicalize()
+	if err := pair.Validate(); err != nil {
+		panic(err)
+	}
+	return pair
+}
+
+// BenchmarkKernels compares, per scheme, the plain scan kernel against the
+// first-member-indexed one, one draw at a time and in estimator-sized
+// batches, on the large-|H| pair where the kernel selector picks the
+// index. samples/sec is the headline throughput number EXPERIMENTS.md
+// quotes; all variants draw from identical PRNG streams.
+func BenchmarkKernels(b *testing.B) {
+	pair := kernelPair()
+	kernels := []struct {
+		name string
+		s    estimator.BatchSampler
+	}{
+		{"Natural/plain", sampler.NewNatural(pair)},
+		{"Natural/indexed", sampler.NewNaturalIndexed(pair)},
+		{"KL/plain", sampler.NewKL(pair)},
+		{"KL/indexed", sampler.NewKLIndexed(pair)},
+		{"KLM/plain", sampler.NewKLM(pair)},
+		{"KLM/indexed", sampler.NewKLMIndexed(pair)},
+	}
+	for _, k := range kernels {
+		b.Run(k.name+"/single", func(b *testing.B) {
+			src := mt.New(1)
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				_ = k.s.Sample(src)
+			}
+			b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "samples/sec")
+		})
+		b.Run(k.name+"/batch", func(b *testing.B) {
+			src := mt.New(1)
+			buf := make([]float64, 256)
+			b.ReportAllocs()
+			drawn := 0
+			for i := 0; i < b.N; i += len(buf) {
+				k.s.SampleBatch(src, buf)
+				drawn += len(buf)
+			}
+			b.ReportMetric(float64(drawn)/b.Elapsed().Seconds(), "samples/sec")
+		})
+	}
+}
+
 // ablationExactPair: 18 images in several small components.
 func ablationExactPair() *synopsis.Admissible {
 	pair := &synopsis.Admissible{}

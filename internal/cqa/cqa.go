@@ -104,7 +104,8 @@ type Stats struct {
 	// draw contributes signal — the r-goodness the schemes' sample
 	// complexity depends on.
 	GoodRatio float64
-	// Stages is the wall-time breakdown of the run (sampler.init,
+	// Stages is the wall-time breakdown of the run (sampler.init.<kernel>
+	// — the kernel suffix records the shape-based plain/indexed choice —
 	// estimate, other), from the run's span tree. Empty for parallel runs,
 	// where per-worker wall times overlap and cannot be summed.
 	Stages []obs.Stage
@@ -131,7 +132,10 @@ type tupleResult struct {
 // is non-nil, sampler construction and estimation are recorded as child
 // spans.
 func apxRelativeFreq(pair *synopsis.Admissible, scheme Scheme, opts Options, src *mt.Source, parent *obs.Span) (tupleResult, error) {
-	sp := parent.StartChild("sampler.init")
+	// Both kernels of a scheme consume the PRNG stream identically, so the
+	// shape-based choice affects throughput only, never the estimate.
+	kernel := sampler.SelectKernel(pair)
+	sp := parent.StartChild("sampler.init." + kernel.String())
 	var (
 		s      estimator.Sampler
 		space  estimator.SymbolicSpace
@@ -139,20 +143,38 @@ func apxRelativeFreq(pair *synopsis.Admissible, scheme Scheme, opts Options, src
 	)
 	switch scheme {
 	case Natural:
-		s = sampler.NewNatural(pair)
+		if kernel == sampler.Indexed {
+			s = sampler.NewNaturalIndexed(pair)
+		} else {
+			s = sampler.NewNatural(pair)
+		}
 	case KL:
-		kl := sampler.NewKL(pair)
-		s, weight = kl, kl.Weight()
+		if kernel == sampler.Indexed {
+			kl := sampler.NewKLIndexed(pair)
+			s, weight = kl, kl.Weight()
+		} else {
+			kl := sampler.NewKL(pair)
+			s, weight = kl, kl.Weight()
+		}
 	case KLM:
-		klm := sampler.NewKLM(pair)
-		s, weight = klm, klm.Weight()
+		if kernel == sampler.Indexed {
+			klm := sampler.NewKLMIndexed(pair)
+			s, weight = klm, klm.Weight()
+		} else {
+			klm := sampler.NewKLM(pair)
+			s, weight = klm, klm.Weight()
+		}
 	case Cover:
+		// Coverage probes images adaptively (data-dependent control flow);
+		// it always runs on the plain symbolic space.
 		space = sampler.NewSymbolic(pair)
 	default:
 		sp.End()
 		return tupleResult{}, fmt.Errorf("cqa: unknown scheme %v", scheme)
 	}
 	sp.End()
+	obs.Default().Counter("cqa_kernel_selected_total",
+		obs.L("scheme", scheme.String()), obs.L("kernel", kernel.String())).Inc()
 
 	sp = parent.StartChild("estimate")
 	var r estimator.Result
@@ -202,7 +224,7 @@ func ApxAnswersFromSet(set *synopsis.Set, scheme Scheme, opts Options) ([]TupleF
 }
 
 // ApxAnswersFromSetTraced is ApxAnswersFromSet with span attribution
-// under parent: the run's root span ("cqa.<Scheme>", with sampler.init /
+// under parent: the run's root span ("cqa.<Scheme>", with sampler.init.<kernel> /
 // estimate children) becomes a child of parent, so callers holding a
 // span tree (the harness's -trace-out plumbing) capture the run in their
 // trace. A nil parent reproduces ApxAnswersFromSet exactly.

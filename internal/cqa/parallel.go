@@ -62,6 +62,7 @@ func ApxAnswersParallel(set *synopsis.Set, scheme Scheme, opts Options, workers 
 		}
 	}
 	stats.Elapsed = time.Since(start)
+	stats.NumTuples = n
 	stats.NumSamples = stats.Samples
 	if stats.Samples > 0 {
 		stats.GoodRatio = goodSum / float64(stats.Samples)
@@ -71,6 +72,5 @@ func ApxAnswersParallel(set *synopsis.Set, scheme Scheme, opts Options, workers 
 	if firstErr != nil {
 		return nil, stats, fmt.Errorf("cqa: tuple %d: %w", firstErrTuple, firstErr)
 	}
-	stats.NumTuples = n
 	return out, stats, nil
 }

@@ -86,9 +86,14 @@ func TestParallelBudgetError(t *testing.T) {
 	}
 	opts := DefaultOptions()
 	opts.Budget = estimator.Budget{MaxSamples: 2}
-	_, _, err = ApxAnswersParallel(set, Natural, opts, 4)
+	_, stats, err := ApxAnswersParallel(set, Natural, opts, 4)
 	if !errors.Is(err, estimator.ErrBudget) {
 		t.Fatalf("err = %v, want ErrBudget", err)
+	}
+	// The failed run's stats must still carry the tuple count, so
+	// recordRunMetrics and callers see it on the error path too.
+	if stats.NumTuples != len(set.Entries) {
+		t.Fatalf("NumTuples = %d on error path, want %d", stats.NumTuples, len(set.Entries))
 	}
 }
 

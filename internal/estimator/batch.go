@@ -1,0 +1,51 @@
+package estimator
+
+import "cqabench/internal/mt"
+
+// BatchSampler is a Sampler that can fill a whole slice of draws in one
+// call. All kernels in internal/sampler implement it. The contract is
+// strict: SampleBatch(src, dst) must consume the PRNG stream and produce
+// values exactly as len(dst) consecutive Sample(src) calls would, so the
+// estimators can mix batch and single draws freely without changing any
+// estimate.
+type BatchSampler interface {
+	Sampler
+	SampleBatch(src *mt.Source, dst []float64)
+}
+
+// batchSize is the estimator-side chunk: large enough to amortize
+// interface dispatch and keep the sampler's inner loop hot, small enough
+// that a chunk of float64s stays in L1.
+const batchSize = 256
+
+// batcher adapts any Sampler to chunked consumption: batch-capable
+// samplers fill the scratch buffer in one call, the rest fall back to a
+// Sample loop with identical stream consumption. The buffer is reused
+// across fills — estimation loops allocate once per run, not per chunk.
+type batcher struct {
+	s   Sampler
+	bs  BatchSampler // nil when s is not batch-capable
+	buf []float64
+}
+
+func newBatcher(s Sampler) *batcher {
+	b := &batcher{s: s, buf: make([]float64, batchSize)}
+	if bs, ok := s.(BatchSampler); ok {
+		b.bs = bs
+	}
+	return b
+}
+
+// fill returns n consecutive draws (n ≤ batchSize) in a scratch slice
+// valid until the next fill.
+func (b *batcher) fill(src *mt.Source, n int) []float64 {
+	dst := b.buf[:n]
+	if b.bs != nil {
+		b.bs.SampleBatch(src, dst)
+		return dst
+	}
+	for i := range dst {
+		dst[i] = b.s.Sample(src)
+	}
+	return dst
+}

@@ -11,6 +11,13 @@
 //   - SelfAdjustingCoverage: Algorithm 6, the Karp–Luby–Madras
 //     self-adjusting coverage algorithm [15] over the symbolic space.
 //
+// The sampling loops consume draws in fixed-size chunks through the
+// BatchSampler fast path when the sampler supports it, with semantics
+// byte-identical to one-at-a-time draws: chunk sizes are bounded so no
+// loop ever draws past its sequential stopping point, so for a fixed
+// seed every estimate and sample count matches the unbatched reference
+// exactly (see the kernel-equivalence tests).
+//
 // Every entry point accepts a Budget so the harness can impose the paper's
 // per-scenario timeouts.
 package estimator
@@ -25,7 +32,8 @@ import (
 )
 
 // Sampler produces one random draw in [0, 1]. All samplers in
-// internal/sampler implement it.
+// internal/sampler implement it (and BatchSampler, the chunked fast
+// path).
 type Sampler interface {
 	Sample(src *mt.Source) float64
 }
@@ -71,6 +79,33 @@ func (b *budgetTracker) charge(n int64) error {
 	return nil
 }
 
+// reserve grants up to want further loop iterations of a sampling loop
+// whose one-at-a-time form charges unit draws per iteration, and charges
+// the granted draws. When not even one whole iteration fits under
+// MaxSamples, it issues the single charge the sequential loop's next
+// iteration would have issued, so the failure's sample accounting
+// (overshooting MaxSamples by exactly one iteration) stays byte-identical
+// to the unbatched reference. want must be ≥ 1.
+func (b *budgetTracker) reserve(want, unit int64) (int64, error) {
+	if max := b.budget.MaxSamples; max > 0 {
+		if room := (max - b.samples) / unit; room < want {
+			want = room
+		}
+	}
+	if want < 1 {
+		if err := b.charge(unit); err != nil {
+			return 0, err
+		}
+		// Unreachable: want < 1 implies MaxSamples - samples < unit, so
+		// the charge above necessarily exceeds MaxSamples.
+		return 0, ErrBudget
+	}
+	if err := b.charge(want * unit); err != nil {
+		return 0, err
+	}
+	return want, nil
+}
+
 const e2 = math.E - 2 // the (e-2) constant of [8]
 
 // upsilon returns Υ = 4(e−2)·ln(2/δ)/ε², the core sample-complexity
@@ -82,17 +117,37 @@ func upsilon(eps, delta float64) float64 {
 // StoppingRule implements the Stopping Rule Algorithm of [8]: it draws
 // samples until their running sum reaches Υ1 = 1 + (1+ε)Υ and returns
 // Υ1/N, an (ε, δ)-approximation of the mean provided the mean is positive.
+//
+// Draws are consumed in chunks bounded by ⌊Υ1 − sum⌋: samples lie in
+// [0, 1], so the running sum cannot cross Υ1 before that many further
+// draws, and the crossing index always falls on a chunk's final draw.
+// The chunked loop therefore draws exactly as many samples — in exactly
+// the same stream order — as the one-at-a-time loop.
 func StoppingRule(s Sampler, eps, delta float64, src *mt.Source, budget Budget) (Result, error) {
 	bt := &budgetTracker{budget: budget}
 	upsilon1 := 1 + (1+eps)*upsilon(eps, delta)
+	br := newBatcher(s)
 	sum := 0.0
 	var n int64
 	for sum < upsilon1 {
-		if err := bt.charge(1); err != nil {
+		chunk := int64(batchSize)
+		if need := upsilon1 - sum; need < batchSize {
+			chunk = int64(need)
+			if chunk < 1 {
+				chunk = 1
+			}
+		}
+		granted, err := bt.reserve(chunk, 1)
+		if err != nil {
 			return Result{Samples: bt.samples}, err
 		}
-		sum += s.Sample(src)
-		n++
+		for _, v := range br.fill(src, int(granted)) {
+			sum += v
+			n++
+			if sum >= upsilon1 {
+				break // the crossing index: always the chunk's last draw
+			}
+		}
 	}
 	return Result{Estimate: upsilon1 / float64(n), Samples: bt.samples}, nil
 }
@@ -109,6 +164,7 @@ func MonteCarlo(s Sampler, eps, delta float64, src *mt.Source, budget Budget) (R
 		return Result{}, errors.New("estimator: require 0 < eps < 1 and 0 < delta < 1")
 	}
 	bt := &budgetTracker{budget: budget}
+	br := newBatcher(s)
 
 	// Step 1: rough estimate via the stopping rule at accuracy
 	// min(1/2, √ε) and confidence δ/3.
@@ -123,7 +179,8 @@ func MonteCarlo(s Sampler, eps, delta float64, src *mt.Source, budget Budget) (R
 
 	phase1 := bt.samples
 
-	// Step 2: estimate the variance parameter ρ = max(Var, ε·μ).
+	// Step 2: estimate the variance parameter ρ = max(Var, ε·μ). The
+	// fixed iteration count batches freely: chunks of sample pairs.
 	ups := upsilon(eps, delta/3)
 	ups2 := 2 * (1 + math.Sqrt(eps)) * (1 + 2*math.Sqrt(eps)) *
 		(1 + math.Log(1.5)/math.Log(2/(delta/3))) * ups
@@ -132,14 +189,21 @@ func MonteCarlo(s Sampler, eps, delta float64, src *mt.Source, budget Budget) (R
 		n2 = 1
 	}
 	var sq float64
-	for i := int64(0); i < n2; i++ {
-		if err := bt.charge(2); err != nil {
+	for done := int64(0); done < n2; {
+		want := n2 - done
+		if want > batchSize/2 {
+			want = batchSize / 2
+		}
+		pairs, err := bt.reserve(want, 2)
+		if err != nil {
 			return Result{Samples: bt.samples}, err
 		}
-		a := s.Sample(src)
-		b := s.Sample(src)
-		d := a - b
-		sq += d * d / 2
+		buf := br.fill(src, int(2*pairs))
+		for t := 0; t < len(buf); t += 2 {
+			d := buf[t] - buf[t+1]
+			sq += d * d / 2
+		}
+		done += pairs
 	}
 	rhoHat := math.Max(sq/float64(n2), eps*muHat)
 	phase2 := bt.samples - phase1
@@ -150,11 +214,19 @@ func MonteCarlo(s Sampler, eps, delta float64, src *mt.Source, budget Budget) (R
 		n3 = 1
 	}
 	var sum float64
-	for i := int64(0); i < n3; i++ {
-		if err := bt.charge(1); err != nil {
+	for done := int64(0); done < n3; {
+		want := n3 - done
+		if want > batchSize {
+			want = batchSize
+		}
+		granted, err := bt.reserve(want, 1)
+		if err != nil {
 			return Result{Samples: bt.samples}, err
 		}
-		sum += s.Sample(src)
+		for _, v := range br.fill(src, int(granted)) {
+			sum += v
+		}
+		done += granted
 	}
 	res := Result{
 		Estimate: sum / float64(n3),
@@ -185,16 +257,25 @@ func FixedSamples(s Sampler, eps, delta, meanLB float64, src *mt.Source, budget 
 		return Result{}, errors.New("estimator: FixedSamples requires a positive mean lower bound")
 	}
 	bt := &budgetTracker{budget: budget}
+	br := newBatcher(s)
 	n := int64(math.Ceil(upsilon(eps, delta) / meanLB))
 	if n < 1 {
 		n = 1
 	}
 	var sum float64
-	for i := int64(0); i < n; i++ {
-		if err := bt.charge(1); err != nil {
+	for done := int64(0); done < n; {
+		want := n - done
+		if want > batchSize {
+			want = batchSize
+		}
+		granted, err := bt.reserve(want, 1)
+		if err != nil {
 			return Result{Samples: bt.samples}, err
 		}
-		sum += s.Sample(src)
+		for _, v := range br.fill(src, int(granted)) {
+			sum += v
+		}
+		done += granted
 	}
 	return Result{Estimate: sum / float64(n), Samples: bt.samples}, nil
 }

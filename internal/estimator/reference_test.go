@@ -1,0 +1,263 @@
+package estimator
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"cqabench/internal/mt"
+	"cqabench/internal/sampler"
+	"cqabench/internal/synopsis"
+)
+
+// This file pins the batched estimation loops to the unbatched originals:
+// seqStoppingRule, seqMonteCarlo and seqFixedSamples are verbatim copies
+// of the one-sample-at-a-time loops the batched versions replaced. For
+// any sampler and budget, the batched loops must return byte-identical
+// estimates, sample counts, phase breakdowns and errors.
+
+func seqStoppingRule(s Sampler, eps, delta float64, src *mt.Source, budget Budget) (Result, error) {
+	bt := &budgetTracker{budget: budget}
+	upsilon1 := 1 + (1+eps)*upsilon(eps, delta)
+	sum := 0.0
+	var n int64
+	for sum < upsilon1 {
+		if err := bt.charge(1); err != nil {
+			return Result{Samples: bt.samples}, err
+		}
+		sum += s.Sample(src)
+		n++
+	}
+	return Result{Estimate: upsilon1 / float64(n), Samples: bt.samples}, nil
+}
+
+func seqMonteCarlo(s Sampler, eps, delta float64, src *mt.Source, budget Budget) (Result, error) {
+	if eps <= 0 || eps >= 1 || delta <= 0 || delta >= 1 {
+		return Result{}, errors.New("estimator: require 0 < eps < 1 and 0 < delta < 1")
+	}
+	bt := &budgetTracker{budget: budget}
+
+	eps1 := math.Min(0.5, math.Sqrt(eps))
+	sub := budget
+	r1, err := seqStoppingRule(s, eps1, delta/3, src, sub)
+	bt.samples = r1.Samples
+	if err != nil {
+		return Result{Samples: bt.samples}, err
+	}
+	muHat := r1.Estimate
+
+	phase1 := bt.samples
+
+	ups := upsilon(eps, delta/3)
+	ups2 := 2 * (1 + math.Sqrt(eps)) * (1 + 2*math.Sqrt(eps)) *
+		(1 + math.Log(1.5)/math.Log(2/(delta/3))) * ups
+	n2 := int64(math.Ceil(ups2 * eps / muHat))
+	if n2 < 1 {
+		n2 = 1
+	}
+	var sq float64
+	for i := int64(0); i < n2; i++ {
+		if err := bt.charge(2); err != nil {
+			return Result{Samples: bt.samples}, err
+		}
+		a := s.Sample(src)
+		b := s.Sample(src)
+		d := a - b
+		sq += d * d / 2
+	}
+	rhoHat := math.Max(sq/float64(n2), eps*muHat)
+	phase2 := bt.samples - phase1
+
+	n3 := int64(math.Ceil(ups2 * rhoHat / (muHat * muHat)))
+	if n3 < 1 {
+		n3 = 1
+	}
+	var sum float64
+	for i := int64(0); i < n3; i++ {
+		if err := bt.charge(1); err != nil {
+			return Result{Samples: bt.samples}, err
+		}
+		sum += s.Sample(src)
+	}
+	return Result{
+		Estimate: sum / float64(n3),
+		Samples:  bt.samples,
+		Phases:   [3]int64{phase1, phase2, bt.samples - phase1 - phase2},
+	}, nil
+}
+
+func seqFixedSamples(s Sampler, eps, delta, meanLB float64, src *mt.Source, budget Budget) (Result, error) {
+	if meanLB <= 0 {
+		return Result{}, errors.New("estimator: FixedSamples requires a positive mean lower bound")
+	}
+	bt := &budgetTracker{budget: budget}
+	n := int64(math.Ceil(upsilon(eps, delta) / meanLB))
+	if n < 1 {
+		n = 1
+	}
+	var sum float64
+	for i := int64(0); i < n; i++ {
+		if err := bt.charge(1); err != nil {
+			return Result{Samples: bt.samples}, err
+		}
+		sum += s.Sample(src)
+	}
+	return Result{Estimate: sum / float64(n), Samples: bt.samples}, nil
+}
+
+// refPair builds a small admissible pair exercising all samplers.
+func refPair() *synopsis.Admissible {
+	pair := &synopsis.Admissible{
+		BlockSizes: []int32{2, 3, 2},
+		Images: []synopsis.Image{
+			{{Block: 0, Fact: 0}},
+			{{Block: 0, Fact: 0}, {Block: 1, Fact: 1}},
+			{{Block: 1, Fact: 2}, {Block: 2, Fact: 0}},
+		},
+	}
+	pair.Canonicalize()
+	if err := pair.Validate(); err != nil {
+		panic(err)
+	}
+	return pair
+}
+
+// refOneBlock is the degenerate single-block shape.
+func refOneBlock() *synopsis.Admissible {
+	pair := &synopsis.Admissible{
+		BlockSizes: []int32{4},
+		Images: []synopsis.Image{
+			{{Block: 0, Fact: 1}},
+			{{Block: 0, Fact: 3}},
+		},
+	}
+	pair.Canonicalize()
+	if err := pair.Validate(); err != nil {
+		panic(err)
+	}
+	return pair
+}
+
+// refOneImage is the degenerate single-image shape (every KL sample is 1).
+func refOneImage() *synopsis.Admissible {
+	pair := &synopsis.Admissible{
+		BlockSizes: []int32{3, 3, 3},
+		Images: []synopsis.Image{
+			{{Block: 0, Fact: 0}, {Block: 1, Fact: 1}, {Block: 2, Fact: 2}},
+		},
+	}
+	pair.Canonicalize()
+	if err := pair.Validate(); err != nil {
+		panic(err)
+	}
+	return pair
+}
+
+// refSamplers enumerates every kernel over a pair.
+func refSamplers(pair *synopsis.Admissible) map[string]func() Sampler {
+	return map[string]func() Sampler{
+		"Natural":        func() Sampler { return sampler.NewNatural(pair) },
+		"NaturalIndexed": func() Sampler { return sampler.NewNaturalIndexed(pair) },
+		"KL":             func() Sampler { return sampler.NewKL(pair) },
+		"KLIndexed":      func() Sampler { return sampler.NewKLIndexed(pair) },
+		"KLM":            func() Sampler { return sampler.NewKLM(pair) },
+		"KLMIndexed":     func() Sampler { return sampler.NewKLMIndexed(pair) },
+	}
+}
+
+func sameResult(t *testing.T, tag string, seq, bat Result, seqErr, batErr error) {
+	t.Helper()
+	if (seqErr == nil) != (batErr == nil) {
+		t.Fatalf("%s: errors differ: sequential %v vs batched %v", tag, seqErr, batErr)
+	}
+	if seqErr != nil && !errors.Is(batErr, ErrBudget) {
+		t.Fatalf("%s: batched error %v does not wrap ErrBudget", tag, batErr)
+	}
+	if math.Float64bits(seq.Estimate) != math.Float64bits(bat.Estimate) {
+		t.Fatalf("%s: estimates differ: %x vs %x (%v vs %v)", tag,
+			math.Float64bits(seq.Estimate), math.Float64bits(bat.Estimate), seq.Estimate, bat.Estimate)
+	}
+	if seq.Samples != bat.Samples {
+		t.Fatalf("%s: sample counts differ: %d vs %d", tag, seq.Samples, bat.Samples)
+	}
+	if seq.Phases != bat.Phases {
+		t.Fatalf("%s: phase breakdowns differ: %v vs %v", tag, seq.Phases, bat.Phases)
+	}
+}
+
+// TestBatchedLoopsMatchSequential is the core equivalence property: for
+// every kernel, shape (including one-block and one-image degenerates),
+// seed, and budget (including exhaustion mid-phase), the batched
+// estimators return byte-identical results to the sequential reference.
+func TestBatchedLoopsMatchSequential(t *testing.T) {
+	pairs := map[string]*synopsis.Admissible{
+		"small":     refPair(),
+		"one-block": refOneBlock(),
+		"one-image": refOneImage(),
+	}
+	seeds := []uint64{1, 42, mt.DefaultSeed}
+	// 0 = unlimited; the small values force exhaustion in phase 1; the
+	// mid-range ones inside phases 2 and 3 of MonteCarlo.
+	budgets := []int64{0, 1, 37, 500, 5000, 20000}
+	for pname, pair := range pairs {
+		for sname, mk := range refSamplers(pair) {
+			for _, seed := range seeds {
+				for _, max := range budgets {
+					budget := Budget{MaxSamples: max}
+					tag := pname + "/" + sname
+
+					seq, seqErr := seqStoppingRule(mk(), 0.3, 0.2, mt.New(seed), budget)
+					bat, batErr := StoppingRule(mk(), 0.3, 0.2, mt.New(seed), budget)
+					sameResult(t, tag+"/StoppingRule", seq, bat, seqErr, batErr)
+
+					seq, seqErr = seqMonteCarlo(mk(), 0.25, 0.3, mt.New(seed), budget)
+					bat, batErr = MonteCarlo(mk(), 0.25, 0.3, mt.New(seed), budget)
+					sameResult(t, tag+"/MonteCarlo", seq, bat, seqErr, batErr)
+
+					seq, seqErr = seqFixedSamples(mk(), 0.3, 0.3, 0.05, mt.New(seed), budget)
+					bat, batErr = FixedSamples(mk(), 0.3, 0.3, 0.05, mt.New(seed), budget)
+					sameResult(t, tag+"/FixedSamples", seq, bat, seqErr, batErr)
+				}
+			}
+		}
+	}
+}
+
+// TestBatchedFallbackSampler pins the non-batch-capable path: a Sampler
+// that does not implement BatchSampler must go through the Sample-loop
+// fallback and still match the sequential reference exactly.
+type plainOnly struct{ s Sampler }
+
+func (p plainOnly) Sample(src *mt.Source) float64 { return p.s.Sample(src) }
+
+func TestBatchedFallbackSampler(t *testing.T) {
+	pair := refPair()
+	for _, max := range []int64{0, 37, 5000} {
+		budget := Budget{MaxSamples: max}
+		seq, seqErr := seqMonteCarlo(plainOnly{sampler.NewKL(pair)}, 0.25, 0.3, mt.New(7), budget)
+		bat, batErr := MonteCarlo(plainOnly{sampler.NewKL(pair)}, 0.25, 0.3, mt.New(7), budget)
+		sameResult(t, "fallback/MonteCarlo", seq, bat, seqErr, batErr)
+	}
+}
+
+// TestReserveAccounting pins reserve()'s failure accounting to charge()'s:
+// exhaustion must leave samples exactly one unit past MaxSamples.
+func TestReserveAccounting(t *testing.T) {
+	for _, unit := range []int64{1, 2} {
+		bt := &budgetTracker{budget: Budget{MaxSamples: 10}}
+		var total int64
+		for {
+			got, err := bt.reserve(4, unit)
+			if err != nil {
+				break
+			}
+			total += got
+		}
+		if want := 10 / unit; total != int64(want) {
+			t.Fatalf("unit %d: granted %d iterations, want %d", unit, total, want)
+		}
+		if bt.samples != 10/unit*unit+unit {
+			t.Fatalf("unit %d: failure left samples=%d, want %d", unit, bt.samples, 10/unit*unit+unit)
+		}
+	}
+}

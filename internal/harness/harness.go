@@ -83,8 +83,8 @@ type Measurement struct {
 	// aborted invocation are not comparable to completed ones.
 	Reason string
 	// Stages is the span breakdown of Elapsed into pipeline stages
-	// (sampler.init / estimate / other); the stage durations always sum
-	// to Elapsed exactly.
+	// (sampler.init.<kernel> / estimate / other); the stage durations
+	// always sum to Elapsed exactly.
 	Stages []obs.Stage
 	// PrepSource records where the pair's synopsis came from: "build"
 	// (computed this run) or "load" (decoded from the synopsis cache).

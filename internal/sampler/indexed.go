@@ -5,56 +5,85 @@ import (
 	"cqabench/internal/synopsis"
 )
 
-// NaturalIndexed is SampleNatural with an inverted index on each image's
-// first member: an image H can only cover the drawn database I if I keeps
-// H's first (block, member) choice, so instead of scanning every image
-// per sample, the sampler looks up the candidate images of each chosen
-// member and verifies only those. Same distribution and expected value as
-// Natural; the win appears on low-coverage synopses with many images over
-// large blocks, where the plain scan rejects all |H| images per sample
-// while the index visits |H|/size-of-block candidates in expectation
-// (about 2x at |H| = 3000 in BenchmarkNaturalIndexedSampleHuge; the plain
-// scan stays faster on small synopses where its early exit dominates).
+// firstIndex is an inverted index on each image's first member: an image
+// H can cover a database I only if I keeps H's first (block, member)
+// choice (images are canonically sorted, so "first" is well defined).
+// Instead of scanning every image per draw, an indexed kernel looks up
+// the candidate images of each chosen member and verifies only those.
+//
+// The index is stored as dense slices, not maps, so a lookup in the hot
+// loop is two array indexings: blocks lists the distinct first blocks,
+// and lists[k][fact] the (ascending) images whose first member is
+// (blocks[k], fact). Facts ≥ len(lists[k]) start no image — the builder
+// assigns low member ids to facts occurring in images, so these arrays
+// stay small even when blocks are huge.
+type firstIndex struct {
+	blocks []int32
+	lists  [][][]int32
+}
+
+func newFirstIndex(flat *synopsis.FlatImages) *firstIndex {
+	ix := &firstIndex{}
+	pos := make(map[int32]int)
+	n := flat.NumImages()
+	for i := 0; i < n; i++ {
+		first := flat.Image(i)[0]
+		k, ok := pos[first.Block]
+		if !ok {
+			k = len(ix.blocks)
+			pos[first.Block] = k
+			ix.blocks = append(ix.blocks, first.Block)
+			ix.lists = append(ix.lists, nil)
+		}
+		for int(first.Fact) >= len(ix.lists[k]) {
+			ix.lists[k] = append(ix.lists[k], nil)
+		}
+		ix.lists[k][first.Fact] = append(ix.lists[k][first.Fact], int32(i))
+	}
+	return ix
+}
+
+// NaturalIndexed is SampleNatural accelerated by the first-member index:
+// same distribution, expected value, and PRNG stream consumption as
+// Natural. The win appears on low-coverage synopses with many images
+// over large blocks, where the plain scan rejects all |H| images per
+// draw while the index visits Σ_b |H_b|/size(b) candidates in
+// expectation; the plain scan stays faster on small synopses where its
+// early exit dominates (SelectKernel encodes the crossover).
 type NaturalIndexed struct {
-	pair   *synopsis.Admissible
+	sizes  []int32
+	flat   *synopsis.FlatImages
 	chosen []int32
-	// byFirst maps a first member (block, fact) to the images starting
-	// with it (images are canonically sorted, so "first" is well defined).
-	byFirst map[synopsis.Member][]int32
-	// firstBlocks lists the distinct blocks that appear as first members;
-	// only their chosen values can trigger a candidate check.
-	firstBlocks []int32
+	ix     *firstIndex
 }
 
 // NewNaturalIndexed builds the indexed sampler. It is a drop-in
 // replacement for NewNatural.
 func NewNaturalIndexed(pair *synopsis.Admissible) *NaturalIndexed {
-	n := &NaturalIndexed{
-		pair:    pair,
-		chosen:  make([]int32, pair.NumBlocks()),
-		byFirst: make(map[synopsis.Member][]int32, pair.NumImages()),
+	flat := pair.Flatten()
+	return &NaturalIndexed{
+		sizes:  pair.BlockSizes,
+		flat:   flat,
+		chosen: make([]int32, pair.NumBlocks()),
+		ix:     newFirstIndex(flat),
 	}
-	seenBlock := make(map[int32]bool)
-	for i, img := range pair.Images {
-		first := img[0]
-		n.byFirst[first] = append(n.byFirst[first], int32(i))
-		if !seenBlock[first.Block] {
-			seenBlock[first.Block] = true
-			n.firstBlocks = append(n.firstBlocks, first.Block)
-		}
-	}
-	return n
 }
 
 // Sample draws I ∈ db(B) uniformly and returns 1 if some image covers it.
-func (n *NaturalIndexed) Sample(src *mt.Source) float64 {
-	for b, sz := range n.pair.BlockSizes {
+func (n *NaturalIndexed) Sample(src *mt.Source) float64 { return n.sample(src) }
+
+func (n *NaturalIndexed) sample(src *mt.Source) float64 {
+	for b, sz := range n.sizes {
 		n.chosen[b] = int32(src.Intn(int(sz)))
 	}
-	for _, b := range n.firstBlocks {
-		candidates := n.byFirst[synopsis.Member{Block: b, Fact: n.chosen[b]}]
-		for _, i := range candidates {
-			if n.pair.Covers(int(i), n.chosen) {
+	for k, b := range n.ix.blocks {
+		lists := n.ix.lists[k]
+		f := n.chosen[b]
+		if int(f) >= len(lists) {
+			continue
+		}
+		for _, i := range lists[f] {
+			if n.flat.Covers(int(i), n.chosen) {
 				return 1
 			}
 		}
@@ -62,5 +91,114 @@ func (n *NaturalIndexed) Sample(src *mt.Source) float64 {
 	return 0
 }
 
+// SampleBatch fills dst with len(dst) consecutive draws.
+func (n *NaturalIndexed) SampleBatch(src *mt.Source, dst []float64) {
+	for i := range dst {
+		dst[i] = n.sample(src)
+	}
+}
+
 // GoodFactor returns 1: the sampler is 1-good like Natural.
 func (n *NaturalIndexed) GoodFactor() float64 { return 1 }
+
+// KLIndexed is the KL sampler accelerated by the first-member index: any
+// j < i with H_j ⊆ I must have its first member kept in I, so only the
+// candidate images of the chosen members are verified instead of
+// scanning every j < i. Identical distribution, values, and PRNG stream
+// consumption as KL.
+type KLIndexed struct {
+	*Symbolic
+	ix *firstIndex
+}
+
+// NewKLIndexed builds the indexed Karp–Luby sampler. It is a drop-in
+// replacement for NewKL.
+func NewKLIndexed(pair *synopsis.Admissible) *KLIndexed {
+	s := NewSymbolic(pair)
+	return &KLIndexed{Symbolic: s, ix: newFirstIndex(s.flat)}
+}
+
+// Sample draws (i, I) from S• and returns 1 iff no j < i has H_j ⊆ I.
+func (k *KLIndexed) Sample(src *mt.Source) float64 { return k.sample(src) }
+
+func (k *KLIndexed) sample(src *mt.Source) float64 {
+	i := int32(k.Draw(src))
+	for kk, b := range k.ix.blocks {
+		lists := k.ix.lists[kk]
+		f := k.chosen[b]
+		if int(f) >= len(lists) {
+			continue
+		}
+		// Candidate lists are ascending: stop at the first j ≥ i.
+		for _, j := range lists[f] {
+			if j >= i {
+				break
+			}
+			if k.flat.Covers(int(j), k.chosen) {
+				return 0
+			}
+		}
+	}
+	return 1
+}
+
+// SampleBatch fills dst with len(dst) consecutive draws.
+func (k *KLIndexed) SampleBatch(src *mt.Source, dst []float64) {
+	for i := range dst {
+		dst[i] = k.sample(src)
+	}
+}
+
+// GoodFactor returns |db(B)|/|S•|, as for KL.
+func (k *KLIndexed) GoodFactor() float64 { return 1 / k.weight }
+
+// KLMIndexed is the KLM sampler accelerated by the first-member index:
+// the covering count k = |{j : H_j ⊆ I}| is taken over the candidate
+// images of the chosen members — every covering image's first member is
+// kept in I, and each image is keyed by exactly one first member, so the
+// candidate walk counts each covering image exactly once instead of
+// scanning all |H|. Identical distribution, values, and PRNG stream
+// consumption as KLM.
+type KLMIndexed struct {
+	*Symbolic
+	ix *firstIndex
+}
+
+// NewKLMIndexed builds the indexed Karp–Luby–Madras sampler. It is a
+// drop-in replacement for NewKLM.
+func NewKLMIndexed(pair *synopsis.Admissible) *KLMIndexed {
+	s := NewSymbolic(pair)
+	return &KLMIndexed{Symbolic: s, ix: newFirstIndex(s.flat)}
+}
+
+// Sample draws (i, I) from S• and returns 1/k with k = |{j : H_j ⊆ I}|
+// (k ≥ 1: the drawn image's own first member is kept by construction).
+func (k *KLMIndexed) Sample(src *mt.Source) float64 { return k.sample(src) }
+
+func (k *KLMIndexed) sample(src *mt.Source) float64 {
+	k.Draw(src)
+	cnt := 0
+	for kk, b := range k.ix.blocks {
+		lists := k.ix.lists[kk]
+		f := k.chosen[b]
+		if int(f) >= len(lists) {
+			continue
+		}
+		for _, j := range lists[f] {
+			if k.flat.Covers(int(j), k.chosen) {
+				cnt++
+			}
+		}
+	}
+	return 1 / float64(cnt)
+}
+
+// SampleBatch fills dst with len(dst) consecutive draws.
+func (k *KLMIndexed) SampleBatch(src *mt.Source, dst []float64) {
+	for i := range dst {
+		dst[i] = k.sample(src)
+	}
+}
+
+// GoodFactor returns |db(B)|/|S•|, as for KLM.
+func (k *KLMIndexed) GoodFactor() float64 { return 1 / k.weight }

@@ -1,0 +1,232 @@
+package sampler
+
+import (
+	"testing"
+	"testing/quick"
+
+	"cqabench/internal/mt"
+	"cqabench/internal/synopsis"
+)
+
+// The indexed KL kernel must match the plain one draw for draw: coverage
+// checks consume no randomness, so both kernels walk the same PRNG stream.
+func TestKLIndexedMatchesPlain(t *testing.T) {
+	pair := testPair(t)
+	plain := NewKL(pair)
+	indexed := NewKLIndexed(pair)
+	s1, s2 := mt.New(81), mt.New(81)
+	for i := 0; i < 20000; i++ {
+		a, b := plain.Sample(s1), indexed.Sample(s2)
+		if a != b {
+			t.Fatalf("draw %d: plain %v vs indexed %v", i, a, b)
+		}
+	}
+	if indexed.GoodFactor() != plain.GoodFactor() {
+		t.Fatal("indexed KL must share the plain kernel's goodness")
+	}
+}
+
+// Likewise for KLM: the reciprocal cover counts must agree exactly.
+func TestKLMIndexedMatchesPlain(t *testing.T) {
+	pair := testPair(t)
+	plain := NewKLM(pair)
+	indexed := NewKLMIndexed(pair)
+	s1, s2 := mt.New(82), mt.New(82)
+	for i := 0; i < 20000; i++ {
+		a, b := plain.Sample(s1), indexed.Sample(s2)
+		if a != b {
+			t.Fatalf("draw %d: plain %v vs indexed %v", i, a, b)
+		}
+	}
+	if indexed.GoodFactor() != plain.GoodFactor() {
+		t.Fatal("indexed KLM must share the plain kernel's goodness")
+	}
+}
+
+// Property: plain and indexed kernels agree draw for draw on random pairs
+// for every scheme.
+func TestIndexedKernelsProperty(t *testing.T) {
+	f := func(seed []byte) bool {
+		pair := pairFromSeed(seed)
+		if pair == nil {
+			return true
+		}
+		kernels := []struct {
+			plain, indexed Sampler
+		}{
+			{NewNatural(pair), NewNaturalIndexed(pair)},
+			{NewKL(pair), NewKLIndexed(pair)},
+			{NewKLM(pair), NewKLMIndexed(pair)},
+		}
+		for _, k := range kernels {
+			s1, s2 := mt.New(91), mt.New(91)
+			for i := 0; i < 2000; i++ {
+				if k.plain.Sample(s1) != k.indexed.Sample(s2) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Sampler is the minimal draw interface the kernels share (mirrors
+// estimator.Sampler without importing it, to avoid a test-only cycle).
+type Sampler interface {
+	Sample(src *mt.Source) float64
+}
+
+type batchSampler interface {
+	Sampler
+	SampleBatch(src *mt.Source, dst []float64)
+}
+
+// Every kernel's SampleBatch must be byte-identical to the same number of
+// one-at-a-time Sample calls: same values, same stream consumption
+// (checked by comparing the sources' subsequent output), across uneven
+// batch sizes.
+func TestSampleBatchMatchesSequential(t *testing.T) {
+	pairs := map[string]*synopsis.Admissible{
+		"small": testPair(t),
+		"huge":  hugePair(),
+	}
+	for pname, pair := range pairs {
+		kernels := map[string]func() batchSampler{
+			"Natural":        func() batchSampler { return NewNatural(pair) },
+			"NaturalIndexed": func() batchSampler { return NewNaturalIndexed(pair) },
+			"KL":             func() batchSampler { return NewKL(pair) },
+			"KLIndexed":      func() batchSampler { return NewKLIndexed(pair) },
+			"KLM":            func() batchSampler { return NewKLM(pair) },
+			"KLMIndexed":     func() batchSampler { return NewKLMIndexed(pair) },
+		}
+		for kname, mk := range kernels {
+			t.Run(pname+"/"+kname, func(t *testing.T) {
+				seqS, batS := mk(), mk()
+				seqSrc, batSrc := mt.New(17), mt.New(17)
+				// Uneven sizes exercise batch-boundary handling.
+				for _, sz := range []int{1, 7, 256, 3, 100, 1} {
+					want := make([]float64, sz)
+					for i := range want {
+						want[i] = seqS.Sample(seqSrc)
+					}
+					got := make([]float64, sz)
+					batS.SampleBatch(batSrc, got)
+					for i := range want {
+						if want[i] != got[i] {
+							t.Fatalf("batch size %d draw %d: sequential %v vs batch %v", sz, i, want[i], got[i])
+						}
+					}
+				}
+				// Stream positions must coincide afterwards.
+				for i := 0; i < 8; i++ {
+					if a, b := seqSrc.Uint64(), batSrc.Uint64(); a != b {
+						t.Fatalf("PRNG streams diverged after batching: %x vs %x", a, b)
+					}
+				}
+			})
+		}
+	}
+}
+
+// The selector must be deterministic and pick the indexed kernel exactly
+// where the shape model says it wins.
+func TestSelectKernel(t *testing.T) {
+	// Tiny pair: always plain, the index cannot amortize.
+	if k := SelectKernel(testPair(t)); k != Plain {
+		t.Fatalf("small pair selected %v, want Plain", k)
+	}
+	// Huge low-coverage pair: candidate verification is far cheaper than
+	// scanning 3000 images.
+	if k := SelectKernel(hugePair()); k != Indexed {
+		t.Fatalf("huge pair selected %v, want Indexed", k)
+	}
+	// Determinism: repeated calls agree.
+	p := hugePair()
+	first := SelectKernel(p)
+	for i := 0; i < 5; i++ {
+		if SelectKernel(p) != first {
+			t.Fatal("SelectKernel not deterministic")
+		}
+	}
+}
+
+func TestKernelString(t *testing.T) {
+	if Plain.String() != "plain" || Indexed.String() != "indexed" {
+		t.Fatalf("kernel names: %q, %q", Plain, Indexed)
+	}
+}
+
+func BenchmarkKLIndexedSample(b *testing.B) {
+	s := NewKLIndexed(benchPair())
+	src := mt.New(1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = s.Sample(src)
+	}
+}
+
+func BenchmarkKLMIndexedSample(b *testing.B) {
+	s := NewKLMIndexed(benchPair())
+	src := mt.New(1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = s.Sample(src)
+	}
+}
+
+func BenchmarkKLSampleHuge(b *testing.B) {
+	s := NewKL(hugePair())
+	src := mt.New(1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = s.Sample(src)
+	}
+}
+
+func BenchmarkKLIndexedSampleHuge(b *testing.B) {
+	s := NewKLIndexed(hugePair())
+	src := mt.New(1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = s.Sample(src)
+	}
+}
+
+func BenchmarkKLMSampleHuge(b *testing.B) {
+	s := NewKLM(hugePair())
+	src := mt.New(1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = s.Sample(src)
+	}
+}
+
+func BenchmarkKLMIndexedSampleHuge(b *testing.B) {
+	s := NewKLMIndexed(hugePair())
+	src := mt.New(1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = s.Sample(src)
+	}
+}
+
+func BenchmarkSampleBatchHuge(b *testing.B) {
+	kernels := map[string]batchSampler{
+		"NaturalIndexed": NewNaturalIndexed(hugePair()),
+		"KLIndexed":      NewKLIndexed(hugePair()),
+		"KLMIndexed":     NewKLMIndexed(hugePair()),
+	}
+	for name, s := range kernels {
+		b.Run(name, func(b *testing.B) {
+			src := mt.New(1)
+			buf := make([]float64, 256)
+			b.ReportAllocs()
+			for i := 0; i < b.N; i += len(buf) {
+				s.SampleBatch(src, buf)
+			}
+		})
+	}
+}

@@ -11,6 +11,14 @@
 //     the number of images covering I; same goodness, lower variance,
 //     higher per-sample cost (Lemma 4.7).
 //
+// Every sampler exists in two kernels with identical distribution and
+// identical MT19937-64 stream consumption: the plain scan over the flat
+// image layout (this file) and a first-member index-accelerated variant
+// (indexed.go). SelectKernel picks between them from synopsis shape.
+// All kernels implement batched drawing (SampleBatch) with tight,
+// allocation-free inner loops; a batch of n draws is byte-identical to n
+// one-at-a-time Sample calls on the same stream.
+//
 // All samplers reuse internal scratch buffers: one instance serves one
 // estimation loop at a time.
 package sampler
@@ -22,26 +30,42 @@ import (
 
 // Natural is Sampler 1: SampleNatural.
 type Natural struct {
-	pair   *synopsis.Admissible
+	sizes  []int32
+	flat   *synopsis.FlatImages
 	chosen []int32
 }
 
 // NewNatural returns a natural-space sampler for the pair, which must be
 // admissible (Validate'd by the caller; the synopsis builder guarantees it).
 func NewNatural(pair *synopsis.Admissible) *Natural {
-	return &Natural{pair: pair, chosen: make([]int32, pair.NumBlocks())}
+	return &Natural{
+		sizes:  pair.BlockSizes,
+		flat:   pair.Flatten(),
+		chosen: make([]int32, pair.NumBlocks()),
+	}
 }
 
 // Sample draws I ∈ db(B) uniformly and returns 1 if some H ∈ H satisfies
 // H ⊆ I, else 0. Its expected value is exactly R(H,B).
-func (n *Natural) Sample(src *mt.Source) float64 {
-	for b, sz := range n.pair.BlockSizes {
+func (n *Natural) Sample(src *mt.Source) float64 { return n.sample(src) }
+
+// sample is the concrete (devirtualized) draw shared by Sample and
+// SampleBatch.
+func (n *Natural) sample(src *mt.Source) float64 {
+	for b, sz := range n.sizes {
 		n.chosen[b] = int32(src.Intn(int(sz)))
 	}
-	if n.pair.FirstCover(n.chosen) >= 0 {
+	if n.flat.FirstCover(n.chosen) >= 0 {
 		return 1
 	}
 	return 0
+}
+
+// SampleBatch fills dst with len(dst) consecutive draws.
+func (n *Natural) SampleBatch(src *mt.Source, dst []float64) {
+	for i := range dst {
+		dst[i] = n.sample(src)
+	}
 }
 
 // GoodFactor returns the r for which the sampler is r-good: 1.
@@ -52,11 +76,11 @@ func (n *Natural) GoodFactor() float64 { return 1 }
 // probability |I^i|/|S•| via a Walker alias table, then I uniformly from
 // I^i by fixing H_i's members and choosing the remaining blocks uniformly.
 type Symbolic struct {
-	pair   *synopsis.Admissible
+	sizes  []int32
+	flat   *synopsis.FlatImages
 	alias  *mt.Alias
 	weight float64 // |S•| / |db(B)|
 	chosen []int32
-	curIdx int
 }
 
 // NewSymbolic prepares the symbolic sampling space for the pair.
@@ -66,7 +90,8 @@ func NewSymbolic(pair *synopsis.Admissible) *Symbolic {
 		weights[i] = pair.ImageWeight(i)
 	}
 	return &Symbolic{
-		pair:   pair,
+		sizes:  pair.BlockSizes,
+		flat:   pair.Flatten(),
 		alias:  mt.NewAlias(weights),
 		weight: pair.SymbolicWeight(),
 		chosen: make([]int32, pair.NumBlocks()),
@@ -77,23 +102,22 @@ func NewSymbolic(pair *synopsis.Admissible) *Symbolic {
 // sampler's current state, and returns i.
 func (s *Symbolic) Draw(src *mt.Source) int {
 	i := s.alias.Draw(src)
-	for b, sz := range s.pair.BlockSizes {
+	for b, sz := range s.sizes {
 		s.chosen[b] = int32(src.Intn(int(sz)))
 	}
-	for _, m := range s.pair.Images[i] {
+	for _, m := range s.flat.Image(i) {
 		s.chosen[m.Block] = m.Fact
 	}
-	s.curIdx = i
 	return i
 }
 
 // InSet reports whether the current I lies in I^j (i.e. H_j ⊆ I).
 func (s *Symbolic) InSet(j int) bool {
-	return s.pair.Covers(j, s.chosen)
+	return s.flat.Covers(j, s.chosen)
 }
 
 // NumImages returns |H|.
-func (s *Symbolic) NumImages() int { return s.pair.NumImages() }
+func (s *Symbolic) NumImages() int { return s.flat.NumImages() }
 
 // Weight returns |S•| / |db(B)|: the factor converting estimates over the
 // symbolic space into R(H,B) (Algorithms 4 and 5 use its reciprocal and
@@ -113,14 +137,23 @@ func NewKL(pair *synopsis.Admissible) *KL {
 
 // Sample draws (i, I) from S• and returns 1 iff no j < i has H_j ⊆ I.
 // Its expected value is Num/|S•| = R(H,B) · |db(B)|/|S•|.
-func (k *KL) Sample(src *mt.Source) float64 {
+func (k *KL) Sample(src *mt.Source) float64 { return k.sample(src) }
+
+func (k *KL) sample(src *mt.Source) float64 {
 	i := k.Draw(src)
 	for j := 0; j < i; j++ {
-		if k.InSet(j) {
+		if k.flat.Covers(j, k.chosen) {
 			return 0
 		}
 	}
 	return 1
+}
+
+// SampleBatch fills dst with len(dst) consecutive draws.
+func (k *KL) SampleBatch(src *mt.Source, dst []float64) {
+	for i := range dst {
+		dst[i] = k.sample(src)
+	}
 }
 
 // GoodFactor returns |db(B)|/|S•|.
@@ -138,15 +171,18 @@ func NewKLM(pair *synopsis.Admissible) *KLM {
 
 // Sample draws (i, I) from S• and returns 1/k with k = |{j : H_j ⊆ I}|
 // (k ≥ 1 since H_i ⊆ I by construction). Its expected value equals KL's.
-func (k *KLM) Sample(src *mt.Source) float64 {
+func (k *KLM) Sample(src *mt.Source) float64 { return k.sample(src) }
+
+func (k *KLM) sample(src *mt.Source) float64 {
 	k.Draw(src)
-	cnt := 0
-	for j := 0; j < k.pair.NumImages(); j++ {
-		if k.InSet(j) {
-			cnt++
-		}
+	return 1 / float64(k.flat.CoverCount(k.chosen))
+}
+
+// SampleBatch fills dst with len(dst) consecutive draws.
+func (k *KLM) SampleBatch(src *mt.Source, dst []float64) {
+	for i := range dst {
+		dst[i] = k.sample(src)
 	}
-	return 1 / float64(cnt)
 }
 
 // GoodFactor returns |db(B)|/|S•|.

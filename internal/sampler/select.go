@@ -1,0 +1,61 @@
+package sampler
+
+import "cqabench/internal/synopsis"
+
+// Kernel names a sampling-kernel family: the plain scan over the flat
+// image layout, or the first-member index-accelerated variant. Both
+// kernels of a scheme draw from the same distribution and consume the
+// PRNG stream identically; they differ only in how coverage checks are
+// evaluated, so selection is purely a performance decision.
+type Kernel int
+
+const (
+	// Plain scans the image list per draw (early-exiting where the
+	// scheme allows). Fastest on small |H|, where index bookkeeping
+	// costs more than the scan it saves.
+	Plain Kernel = iota
+	// Indexed verifies only the candidate images of the drawn members
+	// via the first-member inverted index. Wins on low-coverage pairs
+	// with many images over large blocks.
+	Indexed
+)
+
+// String returns the kernel's telemetry name.
+func (k Kernel) String() string {
+	if k == Indexed {
+		return "indexed"
+	}
+	return "plain"
+}
+
+// Kernel-selection thresholds, calibrated on the package's kernel
+// micro-benchmarks (BenchmarkKernels in the repository root): below
+// selectMinImages the plain scan's early exit always wins; above it the
+// index is chosen when its expected per-draw work — one lookup per
+// distinct first block plus the expected candidate verifications — is at
+// most half the plain scan's |H| image visits. The 2x margin accounts
+// for the index's extra indirection per visited candidate.
+const (
+	selectMinImages  = 48
+	selectCostMargin = 2.0
+)
+
+// SelectKernel picks the kernel for a pair from its synopsis shape: |H|,
+// the number of distinct first blocks, mean image width, and the
+// expected candidates per draw (which folds in mean block size). The
+// choice is deterministic and depends only on the pair, never on the
+// PRNG stream, so runs stay reproducible whatever kernel is picked.
+func SelectKernel(pair *synopsis.Admissible) Kernel {
+	return selectKernel(pair.ShapeOf())
+}
+
+func selectKernel(sh synopsis.Shape) Kernel {
+	if sh.Images < selectMinImages {
+		return Plain
+	}
+	indexCost := float64(sh.FirstBlocks) + sh.ExpectedCandidates*sh.MeanWidth
+	if selectCostMargin*indexCost < float64(sh.Images) {
+		return Indexed
+	}
+	return Plain
+}
