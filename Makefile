@@ -12,13 +12,13 @@ check:
 	$(GO) vet ./...
 	@fmtout=$$(gofmt -l .); if [ -n "$$fmtout" ]; then \
 		echo "gofmt needed on:"; echo "$$fmtout"; exit 1; fi
-	$(GO) test -race ./internal/obs/... ./internal/harness/... ./internal/syncache/...
+	$(GO) test -race ./internal/obs/... ./internal/harness/... ./internal/syncache/... ./internal/server/...
 	$(GO) test -race ./internal/sampler/...
 	$(GO) test -race -run 'TestBatched|TestReserve' ./internal/estimator/...
 	$(GO) test -race -run 'TestKernel|TestGolden' ./internal/cqa/...
 	$(GO) build -o /tmp/cqabench-docscheck ./cmd/cqabench
 	$(GO) run ./cmd/docscheck -bin /tmp/cqabench-docscheck \
-		README.md EXPERIMENTS.md docs/ARCHITECTURE.md docs/FORMATS.md docs/OBSERVABILITY.md
+		README.md EXPERIMENTS.md docs/ARCHITECTURE.md docs/FORMATS.md docs/OBSERVABILITY.md docs/SERVICE.md
 
 build:
 	$(GO) build ./...

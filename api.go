@@ -1,6 +1,7 @@
 package cqabench
 
 import (
+	"context"
 	"io"
 
 	"cqabench/internal/cq"
@@ -15,26 +16,61 @@ import (
 // synopses, automatic scheme selection, parallel execution, streaming,
 // serialization, schema DSL, and CQ reasoning. The core flows live in
 // cqabench.go.
+//
+// The context-first functions (BuildSynopsisContext, ApproximateContext,
+// ApproximateParallelContext, AutoAnswersContext) are the primary API:
+// they validate Options up front (ErrInvalidOptions), poll ctx at the
+// samplers' chunk boundaries — cancellation is observed within about one
+// 256-draw chunk and reported wrapping ErrCanceled — and leave every
+// estimate, sample count and PRNG stream position of an uncancelled run
+// bit-identical to the context-free path. The context-free forms are
+// thin context.Background() wrappers kept for existing callers.
 
 // Synopsis is the encoded (Σ,Q)-synopsis set of a database-query pair:
 // one admissible pair per answer tuple with positive relative frequency.
 type Synopsis = synopsis.Set
 
-// BuildSynopsis runs the preprocessing step of Section 5: it computes the
-// synopsis of every answer tuple in one pass over the homomorphisms.
-// Reuse the result across schemes — that is the point of the step.
+// BuildSynopsisContext runs the preprocessing step of Section 5: it
+// computes the synopsis of every answer tuple in one pass over the
+// homomorphisms, polling ctx periodically so a caller can abandon an
+// expensive build. Reuse the result across schemes — that is the point
+// of the step.
+func BuildSynopsisContext(ctx context.Context, db *Database, q *Query) (*Synopsis, error) {
+	return synopsis.BuildContext(ctx, db, q)
+}
+
+// BuildSynopsis is BuildSynopsisContext with context.Background().
 func BuildSynopsis(db *Database, q *Query) (*Synopsis, error) {
 	return synopsis.Build(db, q)
 }
 
-// ApproximateFromSynopsis runs one scheme over a prebuilt synopsis.
+// ApproximateContext runs one scheme over a prebuilt synopsis: one
+// relative-frequency estimation per answer tuple, stopping early —
+// within about one sampling chunk — when ctx is canceled or its
+// deadline expires (the error then wraps ErrCanceled). Invalid opts are
+// rejected with ErrInvalidOptions before any sampling; budget
+// exhaustion wraps ErrBudget.
+func ApproximateContext(ctx context.Context, set *Synopsis, scheme Scheme, opts Options) ([]TupleFreq, Stats, error) {
+	return cqa.ApxAnswersFromSetContext(ctx, set, scheme, opts)
+}
+
+// ApproximateFromSynopsis is ApproximateContext with
+// context.Background().
 func ApproximateFromSynopsis(set *Synopsis, scheme Scheme, opts Options) ([]TupleFreq, Stats, error) {
 	return cqa.ApxAnswersFromSet(set, scheme, opts)
 }
 
-// ApproximateParallel fans the per-tuple estimations over a worker pool
-// (workers <= 0 selects GOMAXPROCS). Results are deterministic for a
-// fixed seed regardless of the worker count.
+// ApproximateParallelContext fans the per-tuple estimations over a
+// worker pool (workers <= 0 selects GOMAXPROCS). Results are
+// deterministic for a fixed seed regardless of the worker count, and
+// every worker observes ctx cancellation within about one sampling
+// chunk.
+func ApproximateParallelContext(ctx context.Context, set *Synopsis, scheme Scheme, opts Options, workers int) ([]TupleFreq, Stats, error) {
+	return cqa.ApxAnswersParallelContext(ctx, set, scheme, opts, workers)
+}
+
+// ApproximateParallel is ApproximateParallelContext with
+// context.Background().
 func ApproximateParallel(set *Synopsis, scheme Scheme, opts Options, workers int) ([]TupleFreq, Stats, error) {
 	return cqa.ApxAnswersParallel(set, scheme, opts, workers)
 }
@@ -44,8 +80,14 @@ func ApproximateParallel(set *Synopsis, scheme Scheme, opts Options, workers int
 // KLM otherwise.
 func SelectScheme(set *Synopsis) Scheme { return cqa.SelectScheme(set) }
 
-// AutoAnswers approximates with the automatically selected scheme and
-// reports which one ran.
+// AutoAnswersContext approximates with the automatically selected scheme
+// and reports which one ran, under the same cancellation and validation
+// contract as ApproximateContext.
+func AutoAnswersContext(ctx context.Context, set *Synopsis, opts Options) ([]TupleFreq, Stats, Scheme, error) {
+	return cqa.AutoAnswersContext(ctx, set, opts)
+}
+
+// AutoAnswers is AutoAnswersContext with context.Background().
 func AutoAnswers(set *Synopsis, opts Options) ([]TupleFreq, Stats, Scheme, error) {
 	return cqa.AutoAnswers(set, opts)
 }

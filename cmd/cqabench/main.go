@@ -85,6 +85,8 @@ func run(args []string) error {
 		return cmdCompare(args[1:])
 	case "selftest":
 		return cmdSelftest(args[1:])
+	case "serve":
+		return cmdServe(args[1:])
 	case "help", "-h", "--help":
 		usage()
 		return nil
@@ -116,6 +118,7 @@ subcommands:
   dnf       count satisfying assignments of a DIMACS DNF formula
   compare   run every scheme (and exact) on one query, side by side
   selftest  verify the installation end to end in seconds
+  serve     HTTP estimation service over one instance (POST /v1/estimate)
 `)
 }
 

@@ -2,14 +2,17 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"log/slog"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"strings"
+	"syscall"
 	"time"
 
 	"cqabench/internal/cqa"
@@ -76,11 +79,18 @@ func cmdRun(args []string) error {
 	if err != nil {
 		return err
 	}
+	// Ctrl-C aborts the run cooperatively: the estimators observe the
+	// signal context at their chunk boundaries and the harness surfaces
+	// a canceled error instead of dying mid-measurement.
+	runCtx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stopSignals()
+
 	hcfg := harness.Config{
 		Opts:    cqa.Options{Eps: *eps, Delta: *delta, Seed: 5489},
 		Timeout: *timeout,
 		Schemes: cqa.Schemes,
 		Cache:   cache,
+		Context: runCtx,
 	}
 	if *progress {
 		hcfg.Progress = progressPrinter(logger)

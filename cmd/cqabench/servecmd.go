@@ -1,0 +1,110 @@
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"cqabench/internal/obs"
+	"cqabench/internal/relation"
+	"cqabench/internal/server"
+	"cqabench/internal/tpcds"
+	"cqabench/internal/tpch"
+)
+
+// cmdServe runs the long-lived estimation service: it fixes one database
+// instance at startup (loaded from -in or generated from -benchmark/-sf)
+// and serves POST /v1/estimate and /v1/synopsis against it until
+// SIGINT/SIGTERM, then drains in-flight requests for up to -drain-timeout.
+func cmdServe(args []string) error {
+	fs := flag.NewFlagSet("serve", flag.ContinueOnError)
+	addr := fs.String("addr", "127.0.0.1:8080", "listen address (host:port; port 0 picks a free one)")
+	benchmark := fs.String("benchmark", "tpch", "tpch or tpcds")
+	schemaPath := fs.String("schema", "", "schema DSL file (overrides -benchmark)")
+	in := fs.String("in", "", "database file to serve (empty = generate -benchmark at -sf)")
+	sf := fs.Float64("sf", 0.001, "scale factor when generating (no -in)")
+	seed := fs.Uint64("seed", 1, "generator PRNG seed when generating (no -in)")
+	workers := fs.Int("workers", 0, "concurrent estimations (0 = GOMAXPROCS)")
+	queue := fs.Int("queue", 0, "admitted requests allowed to wait beyond -workers (0 = 2x workers)")
+	reqTimeout := fs.Duration("request-timeout", 30*time.Second, "per-request deadline when the client sends no timeout_ms")
+	maxTimeout := fs.Duration("max-timeout", 2*time.Minute, "cap on client-requested timeouts")
+	maxBody := fs.Int64("max-body", 1<<20, "request body size cap in bytes")
+	drainTimeout := fs.Duration("drain-timeout", 30*time.Second, "how long shutdown waits for in-flight requests")
+	logFormat := fs.String("log-format", "text", "log output format: text or json")
+	openCache := cacheFlags(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	logger, err := newLogger(*logFormat)
+	if err != nil {
+		return err
+	}
+	cache, err := openCache()
+	if err != nil {
+		return err
+	}
+
+	var db *relation.Database
+	var instance string
+	if *in != "" {
+		if db, err = loadDBWithSchema(*in, *benchmark, *schemaPath); err != nil {
+			return err
+		}
+		instance = fmt.Sprintf("file:%s", *in)
+	} else {
+		switch *benchmark {
+		case "tpch":
+			db, err = tpch.Generate(tpch.Config{ScaleFactor: *sf, Seed: *seed})
+		case "tpcds":
+			db, err = tpcds.Generate(tpcds.Config{ScaleFactor: *sf, Seed: *seed})
+		default:
+			return fmt.Errorf("unknown benchmark %q (want tpch or tpcds)", *benchmark)
+		}
+		if err != nil {
+			return err
+		}
+		instance = fmt.Sprintf("gen:%s:sf=%g:seed=%d", *benchmark, *sf, *seed)
+	}
+	logger.Info("serve: database ready", "instance", instance, "facts", db.NumFacts(),
+		"consistent", relation.IsConsistentDB(db))
+
+	srv, err := server.New(server.Config{
+		DB:             db,
+		Workers:        *workers,
+		QueueDepth:     *queue,
+		DefaultTimeout: *reqTimeout,
+		MaxTimeout:     *maxTimeout,
+		MaxBodyBytes:   *maxBody,
+		Cache:          cache,
+		CacheKeyPrefix: instance,
+		Registry:       obs.Default(),
+		Logger:         logger,
+	})
+	if err != nil {
+		return err
+	}
+	bound, err := srv.Start(*addr)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("listening on %s\n", bound)
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	<-ctx.Done()
+	stop()
+
+	logger.Info("serve: shutting down", "inflight", srv.Inflight(), "drain_timeout", *drainTimeout)
+	drainCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := srv.Shutdown(drainCtx); err != nil {
+		return fmt.Errorf("serve: drain incomplete: %w", err)
+	}
+	logCacheSummary(logger, cache)
+	logger.Info("serve: stopped")
+	return nil
+}

@@ -1,0 +1,96 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+)
+
+func TestServeFlagErrors(t *testing.T) {
+	if err := run([]string{"serve", "-log-format", "bogus"}); err == nil {
+		t.Fatal("bad -log-format accepted")
+	}
+	if err := run([]string{"serve", "-benchmark", "bogus"}); err == nil {
+		t.Fatal("bad -benchmark accepted")
+	}
+	if err := run([]string{"serve", "-cache", "bogus"}); err == nil {
+		t.Fatal("bad -cache mode accepted")
+	}
+}
+
+// TestServeSmoke drives the subcommand end to end in-process: generate a
+// tiny instance, serve it on a free port, answer one estimate request,
+// then shut down cleanly on SIGTERM.
+func TestServeSmoke(t *testing.T) {
+	// cmdServe announces the bound address on stdout; intercept it.
+	oldStdout := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	defer func() { os.Stdout = oldStdout }()
+
+	done := make(chan error, 1)
+	go func() {
+		done <- run([]string{"serve", "-addr", "127.0.0.1:0", "-benchmark", "tpch", "-sf", "0.0002"})
+	}()
+
+	// Read the "listening on <addr>" line.
+	addrCh := make(chan string, 1)
+	go func() {
+		buf := make([]byte, 256)
+		n, _ := r.Read(buf)
+		addrCh <- string(buf[:n])
+	}()
+	var addr string
+	select {
+	case line := <-addrCh:
+		addr = strings.TrimSpace(strings.TrimPrefix(line, "listening on"))
+	case err := <-done:
+		t.Fatalf("serve exited before binding: %v", err)
+	case <-time.After(30 * time.Second):
+		t.Fatal("serve did not bind within 30s")
+	}
+
+	resp, err := http.Post("http://"+addr+"/v1/estimate", "application/json",
+		strings.NewReader(`{"query": "Q(n) :- nation(k, n, r, c)", "scheme": "KLM"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("estimate = %d: %s", resp.StatusCode, body)
+	}
+	var parsed struct {
+		Scheme  string `json:"scheme"`
+		Answers []struct {
+			Tuple []string `json:"tuple"`
+		} `json:"answers"`
+	}
+	if err := json.Unmarshal(bytes.TrimSpace(body), &parsed); err != nil {
+		t.Fatalf("response not JSON: %v (%s)", err, body)
+	}
+	if parsed.Scheme != "KLM" || len(parsed.Answers) == 0 {
+		t.Fatalf("unexpected response %s", body)
+	}
+
+	if err := syscall.Kill(os.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("serve exited with error: %v", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("serve did not shut down on SIGTERM within 30s")
+	}
+}

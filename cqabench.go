@@ -18,7 +18,13 @@
 //
 // This root package is the stable public surface; it re-exports the core
 // types and wires together the most common flows. The subsystems live in
-// internal packages documented in DESIGN.md.
+// internal packages documented in DESIGN.md. The context-first entry
+// points (ApproximateAnswersContext, BuildSynopsisContext,
+// ApproximateContext, ApproximateParallelContext) are the primary API:
+// they honor cancellation and deadlines within about one sampling chunk
+// and report failures through the sentinel errors ErrBudget, ErrCanceled
+// and ErrInvalidOptions. The context-free forms remain as
+// context.Background() wrappers.
 //
 // A minimal session:
 //
@@ -32,6 +38,8 @@
 package cqabench
 
 import (
+	"context"
+
 	"cqabench/internal/cq"
 	"cqabench/internal/cqa"
 	"cqabench/internal/noise"
@@ -143,9 +151,18 @@ func MustParseQuery(text string, db *Database) *Query {
 // δ = 0.25, MT19937-64 with its reference seed.
 func DefaultOptions() Options { return cqa.DefaultOptions() }
 
-// ApproximateAnswers runs ApxCQA[scheme] end-to-end: the synopsis
+// ApproximateAnswersContext runs ApxCQA[scheme] end-to-end: the synopsis
 // preprocessing step followed by one relative-frequency approximation per
-// answer tuple with positive frequency.
+// answer tuple with positive frequency. Both phases observe ctx — the
+// build polls between homomorphisms, the estimators at their sampling
+// chunk boundaries — and cancellation surfaces wrapping ErrCanceled.
+// Invalid opts are rejected with ErrInvalidOptions before any work.
+func ApproximateAnswersContext(ctx context.Context, db *Database, q *Query, scheme Scheme, opts Options) ([]TupleFreq, Stats, error) {
+	return cqa.ApxAnswersContext(ctx, db, q, scheme, opts)
+}
+
+// ApproximateAnswers is ApproximateAnswersContext with
+// context.Background().
 func ApproximateAnswers(db *Database, q *Query, scheme Scheme, opts Options) ([]TupleFreq, Stats, error) {
 	return cqa.ApxAnswers(db, q, scheme, opts)
 }

@@ -1,0 +1,108 @@
+package cqabench_test
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"cqabench"
+)
+
+// The sentinel errors must be observable with errors.Is through every
+// public entry point — that is the acceptance contract of the context
+// API redesign.
+
+func TestErrBudgetThroughPublicAPI(t *testing.T) {
+	db := exampleDB(t)
+	q := cqabench.MustParseQuery("Q(n) :- Employee(i, n, d)", db)
+	set, err := cqabench.BuildSynopsis(db, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := cqabench.DefaultOptions()
+	opts.Budget.MaxSamples = 1
+	_, _, err = cqabench.ApproximateFromSynopsis(set, cqabench.KLM, opts)
+	if !errors.Is(err, cqabench.ErrBudget) {
+		t.Fatalf("sequential: error %v does not wrap cqabench.ErrBudget", err)
+	}
+	_, _, err = cqabench.ApproximateParallel(set, cqabench.KLM, opts, 2)
+	if !errors.Is(err, cqabench.ErrBudget) {
+		t.Fatalf("parallel: error %v does not wrap cqabench.ErrBudget", err)
+	}
+}
+
+func TestErrInvalidOptionsThroughPublicAPI(t *testing.T) {
+	db := exampleDB(t)
+	q := cqabench.MustParseQuery("Q(n) :- Employee(i, n, d)", db)
+	set, err := cqabench.BuildSynopsis(db, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	for _, bad := range []func(*cqabench.Options){
+		func(o *cqabench.Options) { o.Eps = 0 },
+		func(o *cqabench.Options) { o.Eps = 1.5 },
+		func(o *cqabench.Options) { o.Delta = 0 },
+		func(o *cqabench.Options) { o.Budget.MaxSamples = -3 },
+	} {
+		opts := cqabench.DefaultOptions()
+		bad(&opts)
+		if _, _, err := cqabench.ApproximateContext(ctx, set, cqabench.Natural, opts); !errors.Is(err, cqabench.ErrInvalidOptions) {
+			t.Fatalf("ApproximateContext(%+v): %v", opts, err)
+		}
+		if _, _, err := cqabench.ApproximateParallelContext(ctx, set, cqabench.Natural, opts, 2); !errors.Is(err, cqabench.ErrInvalidOptions) {
+			t.Fatalf("ApproximateParallelContext(%+v): %v", opts, err)
+		}
+		if _, _, err := cqabench.ApproximateAnswersContext(ctx, db, q, cqabench.Natural, opts); !errors.Is(err, cqabench.ErrInvalidOptions) {
+			t.Fatalf("ApproximateAnswersContext(%+v): %v", opts, err)
+		}
+		if _, _, _, err := cqabench.AutoAnswersContext(ctx, set, opts); !errors.Is(err, cqabench.ErrInvalidOptions) {
+			t.Fatalf("AutoAnswersContext(%+v): %v", opts, err)
+		}
+	}
+}
+
+func TestErrCanceledThroughPublicAPI(t *testing.T) {
+	db := exampleDB(t)
+	q := cqabench.MustParseQuery("Q(n) :- Employee(i, n, d)", db)
+	set, err := cqabench.BuildSynopsis(db, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, _, err = cqabench.ApproximateContext(ctx, set, cqabench.KLM, cqabench.DefaultOptions())
+	if !errors.Is(err, cqabench.ErrCanceled) {
+		t.Fatalf("error %v does not wrap cqabench.ErrCanceled", err)
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("error %v does not wrap context.Canceled", err)
+	}
+}
+
+// A live context must not perturb the estimates: the context path and the
+// context-free path share the PRNG stream position draw for draw.
+func TestContextAPIDeterminismMatchesPlainAPI(t *testing.T) {
+	db := exampleDB(t)
+	q := cqabench.MustParseQuery("Q(n) :- Employee(i, n, d)", db)
+	set, err := cqabench.BuildSynopsis(db, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, scheme := range cqabench.Schemes {
+		plain, ps, err1 := cqabench.ApproximateFromSynopsis(set, scheme, cqabench.DefaultOptions())
+		withCtx, cs, err2 := cqabench.ApproximateContext(context.Background(), set, scheme, cqabench.DefaultOptions())
+		if err1 != nil || err2 != nil {
+			t.Fatalf("%v: %v / %v", scheme, err1, err2)
+		}
+		if ps.Samples != cs.Samples || len(plain) != len(withCtx) {
+			t.Fatalf("%v: shapes diverge (%d/%d samples, %d/%d answers)",
+				scheme, ps.Samples, cs.Samples, len(plain), len(withCtx))
+		}
+		for i := range plain {
+			if plain[i].Freq != withCtx[i].Freq {
+				t.Fatalf("%v: tuple %d freq %v != %v", scheme, i, plain[i].Freq, withCtx[i].Freq)
+			}
+		}
+	}
+}

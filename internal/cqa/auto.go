@@ -1,6 +1,8 @@
 package cqa
 
 import (
+	"context"
+
 	"cqabench/internal/synopsis"
 )
 
@@ -27,7 +29,13 @@ const autoBalanceThreshold = 0.1
 // AutoAnswers runs ApxCQA with the scheme chosen per the paper's
 // recommendation, returning the selected scheme alongside the answers.
 func AutoAnswers(set *synopsis.Set, opts Options) ([]TupleFreq, Stats, Scheme, error) {
+	return AutoAnswersContext(context.Background(), set, opts)
+}
+
+// AutoAnswersContext is AutoAnswers with cooperative cancellation (see
+// ApxAnswersFromSetContext).
+func AutoAnswersContext(ctx context.Context, set *synopsis.Set, opts Options) ([]TupleFreq, Stats, Scheme, error) {
 	scheme := SelectScheme(set)
-	res, stats, err := ApxAnswersFromSet(set, scheme, opts)
+	res, stats, err := ApxAnswersFromSetContext(ctx, set, scheme, opts)
 	return res, stats, scheme, err
 }

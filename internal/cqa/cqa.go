@@ -10,11 +10,13 @@
 package cqa
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"time"
 
 	"cqabench/internal/cq"
+	"cqabench/internal/cqaerr"
 	"cqabench/internal/estimator"
 	"cqabench/internal/mt"
 	"cqabench/internal/obs"
@@ -85,6 +87,30 @@ func DefaultOptions() Options {
 	return Options{Eps: 0.1, Delta: 0.25, Seed: mt.DefaultSeed}
 }
 
+// ErrInvalidOptions is wrapped by the errors Validate returns (alias of
+// the shared sentinel, re-exported at the root as
+// cqabench.ErrInvalidOptions).
+var ErrInvalidOptions = cqaerr.ErrInvalidOptions
+
+// Validate rejects option values the estimators cannot run with: ε and δ
+// must lie strictly inside (0, 1) — the sample-complexity constants
+// diverge or turn negative outside it — and the sample budget must be
+// non-negative. Every public entry point (and the estimation service's
+// request decoder) calls it before any sampling work starts; failures
+// wrap ErrInvalidOptions.
+func (o Options) Validate() error {
+	if !(o.Eps > 0 && o.Eps < 1) {
+		return fmt.Errorf("cqa: eps %v outside (0, 1): %w", o.Eps, ErrInvalidOptions)
+	}
+	if !(o.Delta > 0 && o.Delta < 1) {
+		return fmt.Errorf("cqa: delta %v outside (0, 1): %w", o.Delta, ErrInvalidOptions)
+	}
+	if o.Budget.MaxSamples < 0 {
+		return fmt.Errorf("cqa: negative sample budget %d: %w", o.Budget.MaxSamples, ErrInvalidOptions)
+	}
+	return nil
+}
+
 // TupleFreq pairs an answer tuple with its approximate relative frequency.
 type TupleFreq struct {
 	Tuple relation.Tuple
@@ -115,7 +141,7 @@ type Stats struct {
 // the chosen scheme: the body of ApxRelativeFreq in Algorithm 1 after the
 // preprocessing step has established H ≠ ∅.
 func ApxRelativeFreq(pair *synopsis.Admissible, scheme Scheme, opts Options, src *mt.Source) (float64, int64, error) {
-	res, err := apxRelativeFreq(pair, scheme, opts, src, nil)
+	res, err := apxRelativeFreq(context.Background(), pair, scheme, opts, src, nil)
 	return res.freq, res.samples, err
 }
 
@@ -128,10 +154,12 @@ type tupleResult struct {
 	good    float64
 }
 
-// apxRelativeFreq is ApxRelativeFreq with stage attribution: when parent
-// is non-nil, sampler construction and estimation are recorded as child
-// spans.
-func apxRelativeFreq(pair *synopsis.Admissible, scheme Scheme, opts Options, src *mt.Source, parent *obs.Span) (tupleResult, error) {
+// apxRelativeFreq is ApxRelativeFreq with stage attribution — when
+// parent is non-nil, sampler construction and estimation are recorded as
+// child spans — and cooperative cancellation: ctx is polled at the
+// estimation loops' chunk boundaries, never perturbing the PRNG stream
+// of an uncancelled run.
+func apxRelativeFreq(ctx context.Context, pair *synopsis.Admissible, scheme Scheme, opts Options, src *mt.Source, parent *obs.Span) (tupleResult, error) {
 	// Both kernels of a scheme consume the PRNG stream identically, so the
 	// shape-based choice affects throughput only, never the estimate.
 	kernel := sampler.SelectKernel(pair)
@@ -180,9 +208,9 @@ func apxRelativeFreq(pair *synopsis.Admissible, scheme Scheme, opts Options, src
 	var r estimator.Result
 	var err error
 	if space != nil {
-		r, err = estimator.SelfAdjustingCoverage(space, opts.Eps, opts.Delta, src, opts.Budget)
+		r, err = estimator.SelfAdjustingCoverageContext(ctx, space, opts.Eps, opts.Delta, src, opts.Budget)
 	} else {
-		r, err = estimator.MonteCarlo(s, opts.Eps, opts.Delta, src, opts.Budget)
+		r, err = estimator.MonteCarloContext(ctx, s, opts.Eps, opts.Delta, src, opts.Budget)
 	}
 	sp.End()
 
@@ -211,6 +239,8 @@ func recordRunMetrics(scheme Scheme, stats Stats, err error) {
 		r.Counter("cqa_runs_total", lbl).Inc()
 	case errors.Is(err, estimator.ErrBudget):
 		r.Counter("cqa_budget_exhausted_total", lbl).Inc()
+	case errors.Is(err, estimator.ErrCanceled):
+		r.Counter("cqa_canceled_total", lbl).Inc()
 	default:
 		r.Counter("cqa_errors_total", lbl).Inc()
 	}
@@ -220,7 +250,16 @@ func recordRunMetrics(scheme Scheme, stats Stats, err error) {
 // one relative-frequency approximation per answer tuple. This is the
 // measured phase of the paper's experiments (preprocessing excluded).
 func ApxAnswersFromSet(set *synopsis.Set, scheme Scheme, opts Options) ([]TupleFreq, Stats, error) {
-	return ApxAnswersFromSetTraced(set, scheme, opts, nil)
+	return ApxAnswersFromSetTracedContext(context.Background(), set, scheme, opts, nil)
+}
+
+// ApxAnswersFromSetContext is ApxAnswersFromSet with cooperative
+// cancellation: ctx is polled at the estimators' chunk boundaries, so an
+// abort is observed within about one 256-draw chunk and reported as an
+// error wrapping estimator.ErrCanceled. Estimates of uncancelled runs
+// are bit-identical to ApxAnswersFromSet.
+func ApxAnswersFromSetContext(ctx context.Context, set *synopsis.Set, scheme Scheme, opts Options) ([]TupleFreq, Stats, error) {
+	return ApxAnswersFromSetTracedContext(ctx, set, scheme, opts, nil)
 }
 
 // ApxAnswersFromSetTraced is ApxAnswersFromSet with span attribution
@@ -229,6 +268,19 @@ func ApxAnswersFromSet(set *synopsis.Set, scheme Scheme, opts Options) ([]TupleF
 // span tree (the harness's -trace-out plumbing) capture the run in their
 // trace. A nil parent reproduces ApxAnswersFromSet exactly.
 func ApxAnswersFromSetTraced(set *synopsis.Set, scheme Scheme, opts Options, parent *obs.Span) ([]TupleFreq, Stats, error) {
+	return ApxAnswersFromSetTracedContext(context.Background(), set, scheme, opts, parent)
+}
+
+// ApxAnswersFromSetTracedContext combines span attribution (see
+// ApxAnswersFromSetTraced) with cooperative cancellation (see
+// ApxAnswersFromSetContext). It validates opts before any work starts.
+func ApxAnswersFromSetTracedContext(ctx context.Context, set *synopsis.Set, scheme Scheme, opts Options, parent *obs.Span) ([]TupleFreq, Stats, error) {
+	if err := opts.Validate(); err != nil {
+		return nil, Stats{}, err
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	root := parent.StartChild("cqa." + scheme.String())
 	if root == nil {
 		root = obs.NewSpan("cqa." + scheme.String())
@@ -249,7 +301,7 @@ func ApxAnswersFromSetTraced(set *synopsis.Set, scheme Scheme, opts Options, par
 	}
 	for i := range set.Entries {
 		e := &set.Entries[i]
-		res, err := apxRelativeFreq(e.Pair, scheme, opts, src, root)
+		res, err := apxRelativeFreq(ctx, e.Pair, scheme, opts, src, root)
 		stats.Samples += res.samples
 		goodSum += res.good * float64(res.samples)
 		if err != nil {
@@ -267,13 +319,24 @@ func ApxAnswersFromSetTraced(set *synopsis.Set, scheme Scheme, opts Options, par
 // (the preprocessing step) and approximates every positive-frequency
 // tuple's relative frequency.
 func ApxAnswers(db *relation.Database, q *cq.Query, scheme Scheme, opts Options) ([]TupleFreq, Stats, error) {
+	return ApxAnswersContext(context.Background(), db, q, scheme, opts)
+}
+
+// ApxAnswersContext is ApxAnswers with cooperative cancellation through
+// both phases: the synopsis build polls ctx every few thousand
+// homomorphisms, the estimation loops at every chunk boundary. Options
+// are validated before the (possibly expensive) preprocessing step.
+func ApxAnswersContext(ctx context.Context, db *relation.Database, q *cq.Query, scheme Scheme, opts Options) ([]TupleFreq, Stats, error) {
+	if err := opts.Validate(); err != nil {
+		return nil, Stats{}, err
+	}
 	prepStart := time.Now()
-	set, err := synopsis.Build(db, q)
+	set, err := synopsis.BuildContext(ctx, db, q)
 	if err != nil {
 		return nil, Stats{}, err
 	}
 	prep := time.Since(prepStart)
-	res, stats, err := ApxAnswersFromSet(set, scheme, opts)
+	res, stats, err := ApxAnswersFromSetContext(ctx, set, scheme, opts)
 	stats.PrepTime = prep
 	return res, stats, err
 }

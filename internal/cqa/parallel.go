@@ -1,6 +1,7 @@
 package cqa
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -17,6 +18,22 @@ import (
 // deterministically per tuple, so results are reproducible regardless of
 // scheduling). workers <= 0 selects GOMAXPROCS.
 func ApxAnswersParallel(set *synopsis.Set, scheme Scheme, opts Options, workers int) ([]TupleFreq, Stats, error) {
+	return ApxAnswersParallelContext(context.Background(), set, scheme, opts, workers)
+}
+
+// ApxAnswersParallelContext is ApxAnswersParallel with cooperative
+// cancellation: every worker polls ctx at its estimator's chunk
+// boundaries, and tuples not yet started when ctx is canceled abort
+// before their first draw, so the pool drains within about one chunk per
+// worker. Results of uncancelled runs are bit-identical to
+// ApxAnswersParallel for any worker count.
+func ApxAnswersParallelContext(ctx context.Context, set *synopsis.Set, scheme Scheme, opts Options, workers int) ([]TupleFreq, Stats, error) {
+	if err := opts.Validate(); err != nil {
+		return nil, Stats{}, err
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
@@ -37,7 +54,7 @@ func ApxAnswersParallel(set *synopsis.Set, scheme Scheme, opts Options, workers 
 				// Deterministic per-tuple stream: the same tuple always
 				// sees the same randomness, whatever the worker count.
 				src := mt.New(opts.Seed + uint64(i)*0x9E3779B97F4A7C15)
-				res, err := apxRelativeFreq(e.Pair, scheme, opts, src, nil)
+				res, err := apxRelativeFreq(ctx, e.Pair, scheme, opts, src, nil)
 				out[i] = TupleFreq{Tuple: e.Tuple, Freq: res.freq}
 				results[i] = res
 				errs[i] = err

@@ -1,0 +1,30 @@
+// Package cqaerr holds the sentinel errors shared across the estimation
+// stack. It is a leaf package (no internal imports) so every layer —
+// synopsis construction, the estimator loops, the cqa schemes, the HTTP
+// service and the root API — can wrap and match the same values without
+// import cycles; the root package re-exports them as cqabench.ErrCanceled
+// and cqabench.ErrInvalidOptions.
+package cqaerr
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrCanceled is wrapped by errors returned when a caller's
+// context.Context is canceled or exceeds its deadline mid-run. Errors
+// built with Canceled also wrap the context's own sentinel, so both
+// errors.Is(err, ErrCanceled) and errors.Is(err, context.Canceled) (or
+// context.DeadlineExceeded) hold.
+var ErrCanceled = errors.New("cqabench: canceled")
+
+// ErrInvalidOptions is wrapped by errors rejecting malformed
+// approximation options (ε or δ outside (0, 1), a negative sample
+// budget) before any sampling work starts.
+var ErrInvalidOptions = errors.New("cqabench: invalid options")
+
+// Canceled wraps a non-nil context error (ctx.Err()) so the result
+// matches ErrCanceled and the original context sentinel alike.
+func Canceled(cause error) error {
+	return fmt.Errorf("%w: %w", ErrCanceled, cause)
+}

@@ -1,7 +1,8 @@
 package estimator
 
 import (
-	"errors"
+	"context"
+	"fmt"
 	"math"
 
 	"cqabench/internal/mt"
@@ -32,10 +33,19 @@ type SymbolicSpace interface {
 // N = ⌈8(1+ε)·|H|·ln(3/δ) / ((1−ε²/8)·ε²)⌉ from [15]: pessimistic but
 // predictable, which is exactly the trade-off Section 4.3 discusses.
 func SelfAdjustingCoverage(space SymbolicSpace, eps, delta float64, src *mt.Source, budget Budget) (Result, error) {
+	return SelfAdjustingCoverageContext(context.Background(), space, eps, delta, src, budget)
+}
+
+// SelfAdjustingCoverageContext is SelfAdjustingCoverage with cooperative
+// cancellation: the coverage walk charges draws one at a time, so the
+// context is polled every ctxStride steps (the same latency as the
+// batched loops' chunk boundaries). For a context that is never canceled
+// the result is byte-identical to SelfAdjustingCoverage.
+func SelfAdjustingCoverageContext(ctx context.Context, space SymbolicSpace, eps, delta float64, src *mt.Source, budget Budget) (Result, error) {
 	if eps <= 0 || eps >= 1 || delta <= 0 || delta >= 1 {
-		return Result{}, errors.New("estimator: require 0 < eps < 1 and 0 < delta < 1")
+		return Result{}, fmt.Errorf("estimator: require 0 < eps < 1 and 0 < delta < 1: %w", ErrInvalidOptions)
 	}
-	bt := &budgetTracker{budget: budget}
+	bt := &budgetTracker{budget: budget, ctx: trackerCtx(ctx)}
 	m := space.NumImages()
 	n := int64(math.Ceil(8 * (1 + eps) * float64(m) * math.Log(3/delta) /
 		((1 - eps*eps/8) * eps * eps)))

@@ -23,10 +23,13 @@
 package estimator
 
 import (
+	"context"
 	"errors"
+	"fmt"
 	"math"
 	"time"
 
+	"cqabench/internal/cqaerr"
 	"cqabench/internal/mt"
 	"cqabench/internal/obs"
 )
@@ -47,6 +50,15 @@ type Budget struct {
 // ErrBudget is wrapped by errors returned when a budget is exhausted.
 var ErrBudget = errors.New("estimator: budget exhausted")
 
+// ErrCanceled is wrapped by errors returned when the caller's context is
+// canceled or its deadline expires mid-estimation (alias of the shared
+// sentinel, re-exported at the root package as cqabench.ErrCanceled).
+var ErrCanceled = cqaerr.ErrCanceled
+
+// ErrInvalidOptions is wrapped by errors rejecting malformed estimation
+// parameters (ε or δ outside (0, 1)) before any sampling work starts.
+var ErrInvalidOptions = cqaerr.ErrInvalidOptions
+
 // Result reports an estimate together with the work performed.
 type Result struct {
 	Estimate float64
@@ -57,19 +69,46 @@ type Result struct {
 }
 
 // budgetTracker meters samples against a budget, checking the wall clock
-// only every deadlineStride draws.
+// only every deadlineStride draws. When ctx is non-nil, cancellation is
+// polled at chunk boundaries (every reserve call) and, for unbatched
+// unit-charge loops like the coverage walk, every ctxStride draws — so
+// abort latency is about one batchSize chunk either way. The checks never
+// touch the PRNG: for a run that is not canceled, every estimate, sample
+// count and stream position is byte-identical to the context-free path.
 type budgetTracker struct {
 	budget  Budget
+	ctx     context.Context // nil: no cancellation checks
 	samples int64
 }
 
 const deadlineStride = 8192
+
+// ctxStride bounds the cancellation latency of loops that charge draws
+// one at a time (SelfAdjustingCoverage): the context is polled once per
+// ctxStride draws, matching the batched loops' one-chunk latency.
+const ctxStride = batchSize
+
+// checkCtx reports cancellation as an error wrapping both ErrCanceled
+// and the context's own sentinel.
+func (b *budgetTracker) checkCtx() error {
+	if b.ctx != nil {
+		if err := b.ctx.Err(); err != nil {
+			return fmt.Errorf("estimator: %w", cqaerr.Canceled(err))
+		}
+	}
+	return nil
+}
 
 func (b *budgetTracker) charge(n int64) error {
 	prev := b.samples
 	b.samples += n
 	if b.budget.MaxSamples > 0 && b.samples > b.budget.MaxSamples {
 		return ErrBudget
+	}
+	if b.ctx != nil && prev/ctxStride != b.samples/ctxStride {
+		if err := b.checkCtx(); err != nil {
+			return err
+		}
 	}
 	if !b.budget.Deadline.IsZero() && prev/deadlineStride != b.samples/deadlineStride {
 		if time.Now().After(b.budget.Deadline) {
@@ -87,6 +126,11 @@ func (b *budgetTracker) charge(n int64) error {
 // (overshooting MaxSamples by exactly one iteration) stays byte-identical
 // to the unbatched reference. want must be ≥ 1.
 func (b *budgetTracker) reserve(want, unit int64) (int64, error) {
+	// A reserve call is a chunk boundary: poll cancellation here so an
+	// aborted run stops within one in-flight chunk.
+	if err := b.checkCtx(); err != nil {
+		return 0, err
+	}
 	if max := b.budget.MaxSamples; max > 0 {
 		if room := (max - b.samples) / unit; room < want {
 			want = room
@@ -124,7 +168,15 @@ func upsilon(eps, delta float64) float64 {
 // The chunked loop therefore draws exactly as many samples — in exactly
 // the same stream order — as the one-at-a-time loop.
 func StoppingRule(s Sampler, eps, delta float64, src *mt.Source, budget Budget) (Result, error) {
-	bt := &budgetTracker{budget: budget}
+	return StoppingRuleContext(context.Background(), s, eps, delta, src, budget)
+}
+
+// StoppingRuleContext is StoppingRule with cooperative cancellation: the
+// context is polled at every chunk boundary, so an abort is observed
+// within one batchSize chunk of draws. For a context that is never
+// canceled the result is byte-identical to StoppingRule.
+func StoppingRuleContext(ctx context.Context, s Sampler, eps, delta float64, src *mt.Source, budget Budget) (Result, error) {
+	bt := &budgetTracker{budget: budget, ctx: trackerCtx(ctx)}
 	upsilon1 := 1 + (1+eps)*upsilon(eps, delta)
 	br := newBatcher(s)
 	sum := 0.0
@@ -160,17 +212,26 @@ func StoppingRule(s Sampler, eps, delta float64, src *mt.Source, budget Budget) 
 // estimator's (proportional to the ratio of the sampler's variance-like
 // parameter to its squared mean).
 func MonteCarlo(s Sampler, eps, delta float64, src *mt.Source, budget Budget) (Result, error) {
+	return MonteCarloContext(context.Background(), s, eps, delta, src, budget)
+}
+
+// MonteCarloContext is MonteCarlo with cooperative cancellation: the
+// context is polled at every chunk boundary, so an abort is observed
+// within one batchSize chunk of draws and reported as an error wrapping
+// ErrCanceled (and the context's own sentinel). For a context that is
+// never canceled the result is byte-identical to MonteCarlo.
+func MonteCarloContext(ctx context.Context, s Sampler, eps, delta float64, src *mt.Source, budget Budget) (Result, error) {
 	if eps <= 0 || eps >= 1 || delta <= 0 || delta >= 1 {
-		return Result{}, errors.New("estimator: require 0 < eps < 1 and 0 < delta < 1")
+		return Result{}, fmt.Errorf("estimator: require 0 < eps < 1 and 0 < delta < 1: %w", ErrInvalidOptions)
 	}
-	bt := &budgetTracker{budget: budget}
+	bt := &budgetTracker{budget: budget, ctx: trackerCtx(ctx)}
 	br := newBatcher(s)
 
 	// Step 1: rough estimate via the stopping rule at accuracy
 	// min(1/2, √ε) and confidence δ/3.
 	eps1 := math.Min(0.5, math.Sqrt(eps))
 	sub := budget
-	r1, err := StoppingRule(s, eps1, delta/3, src, sub)
+	r1, err := StoppingRuleContext(ctx, s, eps1, delta/3, src, sub)
 	bt.samples = r1.Samples
 	if err != nil {
 		return Result{Samples: bt.samples}, err
@@ -253,10 +314,16 @@ func recordMCMetrics(res Result) {
 // It is correct whenever E[Sample] ≥ meanLB but typically draws far more
 // samples than MonteCarlo; the ablation benchmarks quantify the gap.
 func FixedSamples(s Sampler, eps, delta, meanLB float64, src *mt.Source, budget Budget) (Result, error) {
+	return FixedSamplesContext(context.Background(), s, eps, delta, meanLB, src, budget)
+}
+
+// FixedSamplesContext is FixedSamples with cooperative cancellation at
+// chunk boundaries (see MonteCarloContext).
+func FixedSamplesContext(ctx context.Context, s Sampler, eps, delta, meanLB float64, src *mt.Source, budget Budget) (Result, error) {
 	if meanLB <= 0 {
 		return Result{}, errors.New("estimator: FixedSamples requires a positive mean lower bound")
 	}
-	bt := &budgetTracker{budget: budget}
+	bt := &budgetTracker{budget: budget, ctx: trackerCtx(ctx)}
 	br := newBatcher(s)
 	n := int64(math.Ceil(upsilon(eps, delta) / meanLB))
 	if n < 1 {

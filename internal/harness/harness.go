@@ -8,6 +8,7 @@
 package harness
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -55,6 +56,19 @@ type Config struct {
 	// the worker count: synopsis construction draws no random numbers,
 	// and results are ordered by pair, not by completion.
 	BuildWorkers int
+	// Context, when set, aborts the whole run cooperatively: synopsis
+	// builds and estimations observe it at their usual poll points and
+	// Run returns an error wrapping estimator.ErrCanceled. Nil means
+	// context.Background() — runs are then bounded only by Timeout.
+	Context context.Context
+}
+
+// context returns the run's context, defaulting to Background.
+func (c Config) context() context.Context {
+	if c.Context != nil {
+		return c.Context
+	}
+	return context.Background()
 }
 
 // DefaultConfig mirrors the paper's experimental setting with a short
@@ -166,7 +180,7 @@ func prepare(w *scenario.Workload, cfg Config, spans []*obs.Span) []prepared {
 			}
 			span := spans[i].StartChild("synopsis.resolve")
 			set, source, err := cfg.Cache.Resolve(key, func() (*synopsis.Set, error) {
-				return synopsis.Build(pair.DB, pair.Query)
+				return synopsis.BuildContext(cfg.context(), pair.DB, pair.Query)
 			})
 			span.End()
 			// Rename the span after the fact so traces show what
@@ -222,7 +236,7 @@ func Run(w *scenario.Workload, cfg Config, level func(scenario.Pair) float64) (*
 				opts.Budget.Deadline = time.Now().Add(cfg.Timeout)
 			}
 			start := time.Now()
-			_, stats, err := cqa.ApxAnswersFromSetTraced(set, s, opts, pairSpan)
+			_, stats, err := cqa.ApxAnswersFromSetTracedContext(cfg.context(), set, s, opts, pairSpan)
 			elapsed := time.Since(start)
 			m := Measurement{
 				Pair:       pair.Name,

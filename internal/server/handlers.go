@@ -1,0 +1,336 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"time"
+
+	"cqabench/internal/cq"
+	"cqabench/internal/cqa"
+	"cqabench/internal/cqaerr"
+	"cqabench/internal/estimator"
+	"cqabench/internal/obs"
+	"cqabench/internal/relation"
+)
+
+// EstimateRequest is the body of POST /v1/estimate.
+type EstimateRequest struct {
+	// Query is the conjunctive query, in the library's text syntax.
+	Query string `json:"query"`
+	// Scheme names the approximation scheme (Natural, KL, KLM, Cover);
+	// "" or "auto" selects it from the synopsis per the paper's
+	// recommendation.
+	Scheme string `json:"scheme,omitempty"`
+	// Eps and Delta override the paper's defaults (0.1 / 0.25) when
+	// non-zero; both must lie in (0, 1).
+	Eps   float64 `json:"eps,omitempty"`
+	Delta float64 `json:"delta,omitempty"`
+	// Seed overrides the reference MT19937-64 seed when non-zero, making
+	// repeat requests deterministic per seed.
+	Seed uint64 `json:"seed,omitempty"`
+	// MaxSamples bounds the per-tuple sample count (0 = unbounded).
+	MaxSamples int64 `json:"max_samples,omitempty"`
+	// TimeoutMS bounds this request's wall time; 0 selects the server's
+	// default, larger values are capped at its maximum.
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+}
+
+// Answer is one graded answer tuple.
+type Answer struct {
+	Tuple []string `json:"tuple"`
+	Freq  float64  `json:"freq"`
+}
+
+// EstimateStats summarizes the work a request performed.
+type EstimateStats struct {
+	Samples   int64   `json:"samples"`
+	NumTuples int     `json:"num_tuples"`
+	GoodRatio float64 `json:"good_ratio"`
+	PrepMS    float64 `json:"prep_ms"`
+	ElapsedMS float64 `json:"elapsed_ms"`
+}
+
+// EstimateResponse is the body of a successful POST /v1/estimate.
+type EstimateResponse struct {
+	Scheme   string        `json:"scheme"`
+	Answers  []Answer      `json:"answers"`
+	Stats    EstimateStats `json:"stats"`
+	Synopsis string        `json:"synopsis"` // "memo", "load" or "build"
+}
+
+// SynopsisRequest is the body of POST /v1/synopsis.
+type SynopsisRequest struct {
+	Query     string `json:"query"`
+	TimeoutMS int64  `json:"timeout_ms,omitempty"`
+}
+
+// SynopsisResponse summarizes a built synopsis set.
+type SynopsisResponse struct {
+	Answers         int     `json:"answers"`
+	Balance         float64 `json:"balance"`
+	IndicatedScheme string  `json:"indicated_scheme"`
+	Source          string  `json:"source"` // "memo", "load" or "build"
+	ElapsedMS       float64 `json:"elapsed_ms"`
+}
+
+// errorResponse is the body of every non-2xx response.
+type errorResponse struct {
+	Error string `json:"error"`
+	Code  string `json:"code"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, code, msg string) {
+	writeJSON(w, status, errorResponse{Error: msg, Code: code})
+}
+
+// parseQuery parses and schema-validates a request's query text.
+func parseQuery(text string, db *relation.Database) (*cq.Query, error) {
+	q, err := cq.Parse(text, db.Dict)
+	if err != nil {
+		return nil, err
+	}
+	if err := q.Validate(db.Schema); err != nil {
+		return nil, err
+	}
+	return q, nil
+}
+
+// routes assembles the service mux. Go 1.22 method patterns give 405 for
+// wrong methods for free.
+func (s *Server) routes() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/estimate", s.instrument("/v1/estimate", s.handleEstimate))
+	mux.HandleFunc("POST /v1/synopsis", s.instrument("/v1/synopsis", s.handleSynopsis))
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+		_ = s.reg.WritePrometheus(w)
+	})
+	mux.HandleFunc("GET /metrics.json", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_ = s.reg.WriteJSON(w)
+	})
+	return mux
+}
+
+// statusRecorder captures the response code for metrics and logs.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	r.status = code
+	r.ResponseWriter.WriteHeader(code)
+}
+
+// instrument wraps a handler with the request counter, latency histogram
+// and a log line.
+func (s *Server) instrument(endpoint string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
+		h(rec, r)
+		elapsed := time.Since(start)
+		code := fmt.Sprintf("%d", rec.status)
+		s.reg.Counter("server_requests_total",
+			obs.L("endpoint", endpoint), obs.L("code", code)).Inc()
+		s.reg.Histogram("server_request_seconds", obs.L("endpoint", endpoint)).
+			ObserveDuration(elapsed)
+		s.log.Info("server: request",
+			"endpoint", endpoint, "code", rec.status, "elapsed", elapsed)
+	}
+}
+
+// decode reads and strictly parses a JSON body, bounding its size.
+// A nil error means v is populated; otherwise the response is written.
+func (s *Server) decode(w http.ResponseWriter, r *http.Request, v any) bool {
+	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			s.reject(w, http.StatusRequestEntityTooLarge, "body_too_large",
+				fmt.Sprintf("request body exceeds %d bytes", tooBig.Limit))
+			return false
+		}
+		writeError(w, http.StatusBadRequest, "bad_request", "invalid JSON body: "+err.Error())
+		return false
+	}
+	return true
+}
+
+// options assembles cqa.Options from a request, validating up front so
+// malformed eps/delta are a 400 before any admission or sampling work.
+func (req *EstimateRequest) options() (cqa.Options, error) {
+	opts := cqa.DefaultOptions()
+	if req.Eps != 0 {
+		opts.Eps = req.Eps
+	}
+	if req.Delta != 0 {
+		opts.Delta = req.Delta
+	}
+	if req.Seed != 0 {
+		opts.Seed = req.Seed
+	}
+	opts.Budget.MaxSamples = req.MaxSamples
+	if err := opts.Validate(); err != nil {
+		return cqa.Options{}, err
+	}
+	return opts, nil
+}
+
+// writeRunError maps an estimation/build failure onto a status code.
+func writeRunError(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, cqaerr.ErrInvalidOptions):
+		writeError(w, http.StatusBadRequest, "invalid_options", err.Error())
+	case errors.Is(err, context.DeadlineExceeded):
+		writeError(w, http.StatusGatewayTimeout, "deadline", err.Error())
+	case errors.Is(err, cqaerr.ErrCanceled):
+		// The client went away; the status is moot but 499-style closure
+		// needs a code, and 504 is the closest standard one.
+		writeError(w, http.StatusGatewayTimeout, "canceled", err.Error())
+	case errors.Is(err, estimator.ErrBudget):
+		writeError(w, http.StatusUnprocessableEntity, "budget_exhausted", err.Error())
+	default:
+		writeError(w, http.StatusInternalServerError, "internal", err.Error())
+	}
+}
+
+func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
+	var req EstimateRequest
+	if !s.decode(w, r, &req) {
+		return
+	}
+	opts, err := req.options()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "invalid_options", err.Error())
+		return
+	}
+	var scheme cqa.Scheme
+	auto := req.Scheme == "" || req.Scheme == "auto"
+	if !auto {
+		if scheme, err = cqa.ParseScheme(req.Scheme); err != nil {
+			writeError(w, http.StatusBadRequest, "bad_scheme", err.Error())
+			return
+		}
+	}
+
+	ctx, cancel := s.requestContext(r, req.TimeoutMS)
+	defer cancel()
+	release, ok := s.admit(ctx, w)
+	if !ok {
+		return
+	}
+	defer release()
+
+	ctx, span := obs.StartSpan(ctx, "server.estimate")
+	defer span.End()
+
+	prepStart := time.Now()
+	set, source, err := s.synopsisFor(ctx, req.Query)
+	if err != nil {
+		if errors.Is(err, cqaerr.ErrCanceled) || errors.Is(err, context.Canceled) ||
+			errors.Is(err, context.DeadlineExceeded) {
+			writeRunError(w, err)
+		} else {
+			writeError(w, http.StatusBadRequest, "bad_query", err.Error())
+		}
+		return
+	}
+	prep := time.Since(prepStart)
+	if auto {
+		scheme = cqa.SelectScheme(set)
+	}
+
+	res, stats, err := cqa.ApxAnswersFromSetContext(ctx, set, scheme, opts)
+	if err != nil {
+		writeRunError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, EstimateResponse{
+		Scheme:   scheme.String(),
+		Answers:  renderAnswers(s.cfg.DB, res),
+		Synopsis: source,
+		Stats: EstimateStats{
+			Samples:   stats.Samples,
+			NumTuples: stats.NumTuples,
+			GoodRatio: stats.GoodRatio,
+			PrepMS:    float64(prep.Microseconds()) / 1e3,
+			ElapsedMS: float64(stats.Elapsed.Microseconds()) / 1e3,
+		},
+	})
+}
+
+func (s *Server) handleSynopsis(w http.ResponseWriter, r *http.Request) {
+	var req SynopsisRequest
+	if !s.decode(w, r, &req) {
+		return
+	}
+	ctx, cancel := s.requestContext(r, req.TimeoutMS)
+	defer cancel()
+	release, ok := s.admit(ctx, w)
+	if !ok {
+		return
+	}
+	defer release()
+
+	start := time.Now()
+	set, source, err := s.synopsisFor(ctx, req.Query)
+	if err != nil {
+		if errors.Is(err, cqaerr.ErrCanceled) || errors.Is(err, context.Canceled) ||
+			errors.Is(err, context.DeadlineExceeded) {
+			writeRunError(w, err)
+		} else {
+			writeError(w, http.StatusBadRequest, "bad_query", err.Error())
+		}
+		return
+	}
+	writeJSON(w, http.StatusOK, SynopsisResponse{
+		Answers:         set.OutputSize(),
+		Balance:         set.Balance(),
+		IndicatedScheme: cqa.SelectScheme(set).String(),
+		Source:          source,
+		ElapsedMS:       float64(time.Since(start).Microseconds()) / 1e3,
+	})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	status := http.StatusOK
+	state := "ok"
+	if s.draining.Load() {
+		status = http.StatusServiceUnavailable
+		state = "draining"
+	}
+	writeJSON(w, status, map[string]any{
+		"status":   state,
+		"inflight": s.inflight.Load(),
+		"workers":  s.workers,
+	})
+}
+
+// renderAnswers resolves interned values back to strings for the wire.
+func renderAnswers(db *relation.Database, res []cqa.TupleFreq) []Answer {
+	out := make([]Answer, len(res))
+	for i, tf := range res {
+		vals := make([]string, len(tf.Tuple))
+		for j, v := range tf.Tuple {
+			vals[j] = db.Dict.Render(v)
+		}
+		out[i] = Answer{Tuple: vals, Freq: tf.Freq}
+	}
+	return out
+}

@@ -1,0 +1,298 @@
+// Package server exposes the approximation pipeline as a long-running
+// HTTP service: POST /v1/estimate runs one ApxCQA[scheme] call against a
+// database fixed at startup, POST /v1/synopsis inspects the preprocessing
+// step, and /healthz and /metrics report liveness and the obs registry.
+//
+// The service is built around the context-first API: every request gets
+// a deadline-bound context.Context that flows into the estimators, so a
+// client disconnect or a request timeout aborts the sampling loops within
+// about one 256-draw chunk. Concurrency is bounded by a worker pool with
+// admission control — when Workers requests are running and QueueDepth
+// more are waiting, further requests are refused immediately with 429
+// rather than queueing without bound; during graceful shutdown, in-flight
+// requests drain while new ones are refused with 503.
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"log/slog"
+	"net"
+	"net/http"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"cqabench/internal/obs"
+	"cqabench/internal/relation"
+	"cqabench/internal/syncache"
+	"cqabench/internal/synopsis"
+)
+
+// Config parameterizes a Server. The zero value of every field selects a
+// sensible default; only DB is required.
+type Config struct {
+	// DB is the (possibly inconsistent) database instance the service
+	// answers queries against. Required.
+	DB *relation.Database
+
+	// Workers bounds the number of concurrently running estimations.
+	// <= 0 selects GOMAXPROCS.
+	Workers int
+
+	// QueueDepth bounds how many admitted requests may wait for a worker
+	// slot beyond the Workers already running. Requests arriving past
+	// Workers+QueueDepth are refused with 429. <= 0 selects 2*Workers.
+	QueueDepth int
+
+	// DefaultTimeout is the per-request deadline applied when the client
+	// does not send timeout_ms. <= 0 selects 30s.
+	DefaultTimeout time.Duration
+
+	// MaxTimeout caps client-requested timeouts. <= 0 selects 2m.
+	MaxTimeout time.Duration
+
+	// MaxBodyBytes caps request body sizes; larger bodies get 413.
+	// <= 0 selects 1 MiB.
+	MaxBodyBytes int64
+
+	// Cache, when non-nil and enabled, persists built synopses through
+	// the content-addressed syncache store in addition to the in-memory
+	// memo. CacheKeyPrefix must then fingerprint the database instance
+	// (the server cannot derive one itself); it is mixed into every key.
+	Cache          *syncache.Cache
+	CacheKeyPrefix string
+
+	// Registry receives the service metrics; nil selects a fresh one.
+	Registry *obs.Registry
+
+	// Logger receives request and lifecycle logs; nil discards them.
+	Logger *slog.Logger
+}
+
+// Server is the HTTP service. Create with New, start with Start, stop
+// with Shutdown.
+type Server struct {
+	cfg     Config
+	reg     *obs.Registry
+	log     *slog.Logger
+	workers int
+	depth   int
+
+	// sem holds one token per running estimation; admitted counts
+	// running + waiting requests against workers+depth.
+	sem      chan struct{}
+	admitted atomic.Int64
+	inflight atomic.Int64
+	draining atomic.Bool
+
+	httpSrv *http.Server
+	ln      net.Listener
+
+	// memo caches built synopses for the server's lifetime, keyed by the
+	// query's canonical rendering (the DB is fixed, so the text is a
+	// sufficient key). Builds happen outside the lock; a canceled build
+	// is not stored, so the next request retries it.
+	memoMu sync.Mutex
+	memo   map[string]*synopsis.Set
+}
+
+// New validates cfg and assembles a Server without binding a socket.
+func New(cfg Config) (*Server, error) {
+	if cfg.DB == nil {
+		return nil, errors.New("server: Config.DB is required")
+	}
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	depth := cfg.QueueDepth
+	if depth <= 0 {
+		depth = 2 * workers
+	}
+	if cfg.DefaultTimeout <= 0 {
+		cfg.DefaultTimeout = 30 * time.Second
+	}
+	if cfg.MaxTimeout <= 0 {
+		cfg.MaxTimeout = 2 * time.Minute
+	}
+	if cfg.DefaultTimeout > cfg.MaxTimeout {
+		return nil, fmt.Errorf("server: default timeout %v exceeds max timeout %v", cfg.DefaultTimeout, cfg.MaxTimeout)
+	}
+	if cfg.MaxBodyBytes <= 0 {
+		cfg.MaxBodyBytes = 1 << 20
+	}
+	reg := cfg.Registry
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	logger := cfg.Logger
+	if logger == nil {
+		logger = slog.New(slog.NewTextHandler(io.Discard, nil))
+	}
+	s := &Server{
+		cfg:     cfg,
+		reg:     reg,
+		log:     logger,
+		workers: workers,
+		depth:   depth,
+		sem:     make(chan struct{}, workers),
+		memo:    make(map[string]*synopsis.Set),
+	}
+	s.httpSrv = &http.Server{
+		Handler:           s.routes(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	return s, nil
+}
+
+// Registry returns the metrics registry the server reports into.
+func (s *Server) Registry() *obs.Registry { return s.reg }
+
+// Start binds addr (host:port; port 0 picks a free one) and serves until
+// Shutdown. It returns the bound address immediately; serve errors after
+// startup are logged, not returned.
+func (s *Server) Start(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", fmt.Errorf("server: listen %s: %w", addr, err)
+	}
+	s.ln = ln
+	go func() {
+		if err := s.httpSrv.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			s.log.Error("server: serve failed", "err", err)
+		}
+	}()
+	s.log.Info("server: listening", "addr", ln.Addr().String(),
+		"workers", s.workers, "queue_depth", s.depth)
+	return ln.Addr().String(), nil
+}
+
+// Shutdown drains the server: new requests are refused with 503 while
+// in-flight ones run to completion (or until ctx expires, at which point
+// their connections are closed).
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.draining.Store(true)
+	s.log.Info("server: draining", "inflight", s.inflight.Load())
+	return s.httpSrv.Shutdown(ctx)
+}
+
+// Inflight reports the number of requests currently holding a worker
+// slot. Exposed for tests and the drain log line.
+func (s *Server) Inflight() int64 { return s.inflight.Load() }
+
+// admit applies the admission policy: refuse while draining (503),
+// refuse when workers+depth requests are already admitted (429), then
+// wait for a worker slot, giving up if ctx expires first (504). On
+// success the caller must call the returned release exactly once.
+func (s *Server) admit(ctx context.Context, w http.ResponseWriter) (release func(), ok bool) {
+	if s.draining.Load() {
+		s.reject(w, http.StatusServiceUnavailable, "draining", "server is shutting down")
+		return nil, false
+	}
+	if n := s.admitted.Add(1); n > int64(s.workers+s.depth) {
+		s.admitted.Add(-1)
+		s.reject(w, http.StatusTooManyRequests, "queue_full",
+			fmt.Sprintf("%d requests already admitted (workers=%d queue=%d)", n-1, s.workers, s.depth))
+		return nil, false
+	}
+	s.gauges()
+	select {
+	case s.sem <- struct{}{}:
+	case <-ctx.Done():
+		s.admitted.Add(-1)
+		s.gauges()
+		s.reject(w, http.StatusGatewayTimeout, "deadline", "request expired while queued")
+		return nil, false
+	}
+	s.inflight.Add(1)
+	s.gauges()
+	return func() {
+		<-s.sem
+		s.inflight.Add(-1)
+		s.admitted.Add(-1)
+		s.gauges()
+	}, true
+}
+
+// gauges refreshes the queue-depth and inflight gauges. The two loads
+// race with concurrent admissions, which is fine for monitoring.
+func (s *Server) gauges() {
+	running := s.inflight.Load()
+	waiting := s.admitted.Load() - running
+	if waiting < 0 {
+		waiting = 0
+	}
+	s.reg.Gauge("server_inflight").Set(float64(running))
+	s.reg.Gauge("server_queue_depth").Set(float64(waiting))
+}
+
+// reject writes an admission failure and counts it.
+func (s *Server) reject(w http.ResponseWriter, status int, reason, msg string) {
+	s.reg.Counter("server_rejected_total", obs.L("reason", reason)).Inc()
+	if status == http.StatusTooManyRequests || status == http.StatusServiceUnavailable {
+		w.Header().Set("Retry-After", "1")
+	}
+	writeError(w, status, reason, msg)
+}
+
+// requestContext derives the per-request context: the client's
+// timeout_ms when given (capped at MaxTimeout), DefaultTimeout
+// otherwise, layered over r.Context() so client disconnects cancel too.
+func (s *Server) requestContext(r *http.Request, timeoutMS int64) (context.Context, context.CancelFunc) {
+	d := s.cfg.DefaultTimeout
+	if timeoutMS > 0 {
+		d = time.Duration(timeoutMS) * time.Millisecond
+		if d > s.cfg.MaxTimeout {
+			d = s.cfg.MaxTimeout
+		}
+	}
+	return context.WithTimeout(r.Context(), d)
+}
+
+// synopsisFor parses the query text and returns its synopsis, memoized
+// for the server's lifetime. source is "memo", "load" (syncache hit) or
+// "build".
+func (s *Server) synopsisFor(ctx context.Context, text string) (*synopsis.Set, string, error) {
+	q, err := parseQuery(text, s.cfg.DB)
+	if err != nil {
+		return nil, "", err
+	}
+	key := q.Render(s.cfg.DB.Dict)
+	s.memoMu.Lock()
+	set, hit := s.memo[key]
+	s.memoMu.Unlock()
+	if hit {
+		return set, "memo", nil
+	}
+	source := "build"
+	if s.cfg.Cache != nil && s.cfg.Cache.Enabled() {
+		var src syncache.Source
+		set, src, err = s.cfg.Cache.Resolve(
+			syncache.Key("serve", s.cfg.CacheKeyPrefix, key),
+			func() (*synopsis.Set, error) { return synopsis.BuildContext(ctx, s.cfg.DB, q) },
+		)
+		if src == syncache.SourceLoad {
+			source = "load"
+		}
+	} else {
+		set, err = synopsis.BuildContext(ctx, s.cfg.DB, q)
+	}
+	if err != nil {
+		return nil, "", err
+	}
+	s.memoMu.Lock()
+	// A concurrent build of the same query may have won; keep the first
+	// stored set so every later request shares one synopsis.
+	if prev, ok := s.memo[key]; ok {
+		set = prev
+		source = "memo"
+	} else {
+		s.memo[key] = set
+	}
+	s.memoMu.Unlock()
+	return set, source, nil
+}

@@ -1,11 +1,14 @@
 package synopsis
 
 import (
+	"context"
+	"fmt"
 	"sort"
 	"strings"
 	"time"
 
 	"cqabench/internal/cq"
+	"cqabench/internal/cqaerr"
 	"cqabench/internal/engine"
 	"cqabench/internal/obs"
 	"cqabench/internal/relation"
@@ -79,6 +82,22 @@ func (s *Set) ImageFacts() []relation.FactRef {
 // rewriting Q^rew and decoding its (rid, bid, tid, kcnt) columns
 // (Appendix C).
 func Build(db *relation.Database, q *cq.Query) (*Set, error) {
+	return BuildContext(context.Background(), db, q)
+}
+
+// buildCtxStride is how many homomorphisms BuildContext enumerates
+// between cancellation polls: frequent enough that aborting a large
+// build is prompt, rare enough to stay off the enumeration hot path.
+const buildCtxStride = 1024
+
+// BuildContext is Build with cooperative cancellation: the homomorphism
+// enumeration polls ctx every buildCtxStride images and aborts with an
+// error wrapping cqaerr.ErrCanceled (and the context's own sentinel).
+// For a context that is never canceled the result is identical to Build.
+func BuildContext(ctx context.Context, db *relation.Database, q *cq.Query) (*Set, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	buildStart := time.Now()
 	bi := relation.BuildBlocks(db)
 	ev := engine.NewEvaluator(db)
@@ -90,7 +109,13 @@ func Build(db *relation.Database, q *cq.Query) (*Set, error) {
 	groups := make(map[string]*group)
 	var order []string // deterministic entry order: first occurrence
 
+	var homs int
 	err := ev.EnumerateHomomorphisms(q, func(h *engine.Homomorphism) error {
+		if homs++; homs%buildCtxStride == 0 {
+			if cerr := ctx.Err(); cerr != nil {
+				return fmt.Errorf("synopsis: build aborted after %d homomorphisms: %w", homs, cqaerr.Canceled(cerr))
+			}
+		}
 		if !bi.SatisfiesKeys(h.Image) {
 			return nil // h(Q) violates Σ: not part of the synopsis
 		}
