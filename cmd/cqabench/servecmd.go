@@ -6,15 +6,41 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
 	"cqabench/internal/obs"
+	"cqabench/internal/obs/manifest"
 	"cqabench/internal/relation"
 	"cqabench/internal/server"
 	"cqabench/internal/tpcds"
 	"cqabench/internal/tpch"
 )
+
+// parseWindows parses a comma-separated list of rolling-window durations
+// (e.g. "1m,5m") for the *_window SLO series.
+func parseWindows(s string) ([]time.Duration, error) {
+	var out []time.Duration
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		d, err := time.ParseDuration(part)
+		if err != nil {
+			return nil, err
+		}
+		if d <= 0 {
+			return nil, fmt.Errorf("window %q must be positive", part)
+		}
+		out = append(out, d)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no windows given")
+	}
+	return out, nil
+}
 
 // cmdServe runs the long-lived estimation service: it fixes one database
 // instance at startup (loaded from -in or generated from -benchmark/-sf)
@@ -35,9 +61,15 @@ func cmdServe(args []string) error {
 	maxBody := fs.Int64("max-body", 1<<20, "request body size cap in bytes")
 	drainTimeout := fs.Duration("drain-timeout", 30*time.Second, "how long shutdown waits for in-flight requests")
 	logFormat := fs.String("log-format", "text", "log output format: text or json")
+	reqlogCap := fs.Int("requestlog-cap", server.DefaultRequestLogCap, "recent requests kept for /debug/requests (0 = default)")
+	sloWindows := fs.String("slo-windows", "1m,5m", "comma-separated rolling windows for *_window latency quantiles")
 	openCache := cacheFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	windows, err := parseWindows(*sloWindows)
+	if err != nil {
+		return fmt.Errorf("-slo-windows: %w", err)
 	}
 	logger, err := newLogger(*logFormat)
 	if err != nil {
@@ -72,6 +104,7 @@ func cmdServe(args []string) error {
 	logger.Info("serve: database ready", "instance", instance, "facts", db.NumFacts(),
 		"consistent", relation.IsConsistentDB(db))
 
+	man := manifest.Collect("cqabench serve", manifest.FlagConfig(fs))
 	srv, err := server.New(server.Config{
 		DB:             db,
 		Workers:        *workers,
@@ -83,6 +116,9 @@ func cmdServe(args []string) error {
 		CacheKeyPrefix: instance,
 		Registry:       obs.Default(),
 		Logger:         logger,
+		RequestLogCap:  *reqlogCap,
+		SLOWindows:     windows,
+		Manifest:       &man,
 	})
 	if err != nil {
 		return err

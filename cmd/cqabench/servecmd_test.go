@@ -22,6 +22,31 @@ func TestServeFlagErrors(t *testing.T) {
 	if err := run([]string{"serve", "-cache", "bogus"}); err == nil {
 		t.Fatal("bad -cache mode accepted")
 	}
+	if err := run([]string{"serve", "-slo-windows", "1m,never"}); err == nil {
+		t.Fatal("bad -slo-windows accepted")
+	}
+	if err := run([]string{"serve", "-slo-windows", "-1m"}); err == nil {
+		t.Fatal("negative -slo-windows accepted")
+	}
+	if err := run([]string{"serve", "-slo-windows", ","}); err == nil {
+		t.Fatal("empty -slo-windows accepted")
+	}
+}
+
+func TestParseWindows(t *testing.T) {
+	got, err := parseWindows(" 30s, 5m ,1h")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []time.Duration{30 * time.Second, 5 * time.Minute, time.Hour}
+	if len(got) != len(want) {
+		t.Fatalf("parseWindows = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("parseWindows = %v, want %v", got, want)
+		}
+	}
 }
 
 // TestServeSmoke drives the subcommand end to end in-process: generate a
@@ -80,6 +105,19 @@ func TestServeSmoke(t *testing.T) {
 	}
 	if parsed.Scheme != "KLM" || len(parsed.Answers) == 0 {
 		t.Fatalf("unexpected response %s", body)
+	}
+
+	// The inspector endpoints are live alongside the estimator.
+	for _, path := range []string{"/version", "/debug/requests", "/metrics.json"} {
+		resp, err := http.Get("http://" + addr + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s = %d: %s", path, resp.StatusCode, b)
+		}
 	}
 
 	if err := syscall.Kill(os.Getpid(), syscall.SIGTERM); err != nil {

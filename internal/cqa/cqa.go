@@ -274,12 +274,18 @@ func ApxAnswersFromSetTraced(set *synopsis.Set, scheme Scheme, opts Options, par
 // ApxAnswersFromSetTracedContext combines span attribution (see
 // ApxAnswersFromSetTraced) with cooperative cancellation (see
 // ApxAnswersFromSetContext). It validates opts before any work starts.
+// When parent is nil but ctx carries a span (obs.StartSpan), the run's
+// span tree attaches there instead — this is how the estimation
+// service's per-request traces capture the cqa breakdown.
 func ApxAnswersFromSetTracedContext(ctx context.Context, set *synopsis.Set, scheme Scheme, opts Options, parent *obs.Span) ([]TupleFreq, Stats, error) {
 	if err := opts.Validate(); err != nil {
 		return nil, Stats{}, err
 	}
 	if ctx == nil {
 		ctx = context.Background()
+	}
+	if parent == nil {
+		parent = obs.FromContext(ctx)
 	}
 	root := parent.StartChild("cqa." + scheme.String())
 	if root == nil {

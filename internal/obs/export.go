@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"sort"
 	"strconv"
 )
 
@@ -34,6 +35,18 @@ type jsonHistogram struct {
 	P50    float64           `json:"p50"`
 	P95    float64           `json:"p95"`
 	P99    float64           `json:"p99"`
+	// Windows carries the rolling-window quantiles for histograms that
+	// were registered through Registry.WindowedHistogram.
+	Windows []jsonWindow `json:"windows,omitempty"`
+}
+
+// jsonWindow is one rolling window's quantile summary.
+type jsonWindow struct {
+	Window string  `json:"window"` // e.g. "1m", "5m"
+	Count  uint64  `json:"count"`
+	P50    float64 `json:"p50"`
+	P95    float64 `json:"p95"`
+	P99    float64 `json:"p99"`
 }
 
 type jsonExport struct {
@@ -70,11 +83,21 @@ func (r *Registry) WriteJSON(w io.Writer) error {
 			})
 		case histogramKind:
 			s := e.hist.Snapshot()
-			out.Histograms = append(out.Histograms, jsonHistogram{
+			h := jsonHistogram{
 				Name: e.name, Labels: labelMap(e.labels),
 				Count: s.Count, Sum: s.Sum, Min: s.Min, Max: s.Max, Mean: s.Mean(),
 				P50: s.Quantile(0.50), P95: s.Quantile(0.95), P99: s.Quantile(0.99),
-			})
+			}
+			if wh := e.win.Load(); wh != nil {
+				for _, win := range wh.Windows() {
+					ws := wh.WindowSnapshot(win)
+					h.Windows = append(h.Windows, jsonWindow{
+						Window: FormatWindow(win), Count: ws.Count,
+						P50: ws.Quantile(0.50), P95: ws.Quantile(0.95), P99: ws.Quantile(0.99),
+					})
+				}
+			}
+			out.Histograms = append(out.Histograms, h)
 		}
 	}
 	enc := json.NewEncoder(w)
@@ -140,11 +163,63 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 			if _, err = fmt.Fprintf(w, "%s_sum%s %s\n", e.name, promLabels(e.labels, "", ""), promFloat(s.Sum)); err != nil {
 				return err
 			}
-			_, err = fmt.Fprintf(w, "%s_count%s %d\n", e.name, promLabels(e.labels, "", ""), s.Count)
+			if _, err = fmt.Fprintf(w, "%s_count%s %d\n", e.name, promLabels(e.labels, "", ""), s.Count); err != nil {
+				return err
+			}
+			err = writePromWindows(w, e, lastType)
 		}
 		if err != nil {
 			return err
 		}
 	}
 	return nil
+}
+
+// writePromWindows emits the rolling-window quantile series for a
+// histogram entry registered with a window ring: per (window, quantile)
+// a <name>_window gauge with window and quantile labels, plus a
+// <name>_window_count gauge per window. An idle window exports zeros, so
+// dashboards see the p99 drain rather than the series vanish.
+func writePromWindows(w io.Writer, e *entry, lastType map[string]bool) error {
+	wh := e.win.Load()
+	if wh == nil {
+		return nil
+	}
+	qName, cName := e.name+"_window", e.name+"_window_count"
+	for _, name := range []string{qName, cName} {
+		if !lastType[name] {
+			if _, err := fmt.Fprintf(w, "# TYPE %s gauge\n", name); err != nil {
+				return err
+			}
+			lastType[name] = true
+		}
+	}
+	quantiles := []struct {
+		label string
+		q     float64
+	}{{"0.5", 0.50}, {"0.95", 0.95}, {"0.99", 0.99}}
+	for _, win := range wh.Windows() {
+		s := wh.WindowSnapshot(win)
+		winLabel := L("window", FormatWindow(win))
+		for _, qs := range quantiles {
+			labels := sortedLabels(e.labels, winLabel, L("quantile", qs.label))
+			if _, err := fmt.Fprintf(w, "%s%s %s\n", qName, labelString(labels), promFloat(s.Quantile(qs.q))); err != nil {
+				return err
+			}
+		}
+		labels := sortedLabels(e.labels, winLabel)
+		if _, err := fmt.Fprintf(w, "%s%s %d\n", cName, labelString(labels), s.Count); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// sortedLabels merges base with extras and re-sorts by key.
+func sortedLabels(base []Label, extras ...Label) []Label {
+	out := make([]Label, 0, len(base)+len(extras))
+	out = append(out, base...)
+	out = append(out, extras...)
+	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
+	return out
 }

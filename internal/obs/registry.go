@@ -7,6 +7,7 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // Counter is a monotonically increasing integer metric.
@@ -62,6 +63,10 @@ type entry struct {
 	counter *Counter
 	gauge   *Gauge
 	hist    *Histogram
+	// win, when set, wraps hist with a rolling-window ring; the exporters
+	// then emit <name>_window quantile series beside the cumulative ones.
+	// Atomic because it is attached lazily while exports may be reading.
+	win atomic.Pointer[WindowedHistogram]
 }
 
 // labelString renders the sorted label set as {k="v",...}, or "" when
@@ -136,6 +141,25 @@ func (r *Registry) Gauge(name string, labels ...Label) *Gauge {
 // Histogram returns (registering if needed) the histogram for name+labels.
 func (r *Registry) Histogram(name string, labels ...Label) *Histogram {
 	return r.get(name, histogramKind, labels).hist
+}
+
+// WindowedHistogram returns (registering if needed) the rolling-window
+// view of the histogram for name+labels. The first call fixes the
+// window set (nil selects DefaultWindows); later calls return the
+// existing view regardless of their windows argument. Observations made
+// through the returned handle feed both the cumulative series and the
+// per-window quantiles; observations made through Histogram() on the
+// same name feed only the cumulative series.
+func (r *Registry) WindowedHistogram(name string, windows []time.Duration, labels ...Label) *WindowedHistogram {
+	e := r.get(name, histogramKind, labels)
+	if wh := e.win.Load(); wh != nil {
+		return wh
+	}
+	wh := newWindowedHistogram(e.hist, windows)
+	if e.win.CompareAndSwap(nil, wh) {
+		return wh
+	}
+	return e.win.Load()
 }
 
 // Reset drops every registered metric. Meant for tests and for CLI runs

@@ -46,11 +46,13 @@ type Answer struct {
 
 // EstimateStats summarizes the work a request performed.
 type EstimateStats struct {
-	Samples   int64   `json:"samples"`
-	NumTuples int     `json:"num_tuples"`
-	GoodRatio float64 `json:"good_ratio"`
-	PrepMS    float64 `json:"prep_ms"`
-	ElapsedMS float64 `json:"elapsed_ms"`
+	TraceID     string  `json:"trace_id"`
+	Samples     int64   `json:"samples"`
+	NumTuples   int     `json:"num_tuples"`
+	GoodRatio   float64 `json:"good_ratio"`
+	QueueWaitMS float64 `json:"queue_wait_ms"`
+	PrepMS      float64 `json:"prep_ms"`
+	ElapsedMS   float64 `json:"elapsed_ms"`
 }
 
 // EstimateResponse is the body of a successful POST /v1/estimate.
@@ -113,14 +115,14 @@ func (s *Server) routes() *http.ServeMux {
 	mux.HandleFunc("POST /v1/estimate", s.instrument("/v1/estimate", s.handleEstimate))
 	mux.HandleFunc("POST /v1/synopsis", s.instrument("/v1/synopsis", s.handleSynopsis))
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /version", s.handleVersion)
+	mux.HandleFunc("GET /debug/requests", s.handleDebugRequests)
+	mux.HandleFunc("GET /debug/requests/{id}/trace", s.handleDebugRequestTrace)
 	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
 		_ = s.reg.WritePrometheus(w)
 	})
-	mux.HandleFunc("GET /metrics.json", func(w http.ResponseWriter, r *http.Request) {
-		w.Header().Set("Content-Type", "application/json")
-		_ = s.reg.WriteJSON(w)
-	})
+	mux.HandleFunc("GET /metrics.json", s.handleMetricsJSON)
 	return mux
 }
 
@@ -135,21 +137,52 @@ func (r *statusRecorder) WriteHeader(code int) {
 	r.ResponseWriter.WriteHeader(code)
 }
 
-// instrument wraps a handler with the request counter, latency histogram
-// and a log line.
+// instrument wraps a handler with the full request-scoped observability
+// substrate: a trace ID (generated, or accepted from a well-formed
+// inbound X-Request-ID) echoed as X-Trace-ID and carried on the context,
+// a root span the admission path and handlers hang children off
+// (queue.wait, synopsis, estimate), the request counter and windowed
+// latency histogram, one structured access-log line, and a RequestRecord
+// in the /debug/requests ring.
 func (s *Server) instrument(endpoint string, h http.HandlerFunc) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
+		id := r.Header.Get("X-Request-ID")
+		if !obs.IsValidTraceID(id) {
+			id = obs.NewTraceID()
+		}
+		st := &reqState{rec: RequestRecord{TraceID: id, Endpoint: endpoint, Start: start}}
+		ctx := obs.WithTraceID(r.Context(), id)
+		ctx = context.WithValue(ctx, reqStateKey{}, st)
+		ctx, span := obs.StartSpan(ctx, "server."+endpoint)
+		st.span = span
+		w.Header().Set("X-Trace-ID", id)
+
 		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
-		h(rec, r)
+		h(rec, r.WithContext(ctx))
+		span.End()
 		elapsed := time.Since(start)
+
+		st.rec.Status = rec.status
+		st.rec.LatencyMS = ms(elapsed)
+		st.rec.Stages = stagesMS(span.Stages())
+		st.rec.trace = span.Data()
+		s.reqlog.add(st.rec)
+
 		code := fmt.Sprintf("%d", rec.status)
 		s.reg.Counter("server_requests_total",
 			obs.L("endpoint", endpoint), obs.L("code", code)).Inc()
-		s.reg.Histogram("server_request_seconds", obs.L("endpoint", endpoint)).
-			ObserveDuration(elapsed)
+		s.requestSeconds(endpoint).ObserveDuration(elapsed)
 		s.log.Info("server: request",
-			"endpoint", endpoint, "code", rec.status, "elapsed", elapsed)
+			"trace_id", id,
+			"endpoint", endpoint,
+			"scheme", st.rec.Scheme,
+			"code", rec.status,
+			"queue_wait_ms", st.rec.QueueWaitMS,
+			"elapsed", elapsed,
+			"samples", st.rec.Samples,
+			"good_ratio", st.rec.GoodRatio,
+			"reason", st.rec.Reason)
 	}
 }
 
@@ -160,12 +193,14 @@ func (s *Server) decode(w http.ResponseWriter, r *http.Request, v any) bool {
 	dec := json.NewDecoder(r.Body)
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(v); err != nil {
+		st := reqStateFrom(r.Context())
 		var tooBig *http.MaxBytesError
 		if errors.As(err, &tooBig) {
-			s.reject(w, http.StatusRequestEntityTooLarge, "body_too_large",
+			s.reject(w, st, http.StatusRequestEntityTooLarge, "body_too_large",
 				fmt.Sprintf("request body exceeds %d bytes", tooBig.Limit))
 			return false
 		}
+		st.setReason("bad_request")
 		writeError(w, http.StatusBadRequest, "bad_request", "invalid JSON body: "+err.Error())
 		return false
 	}
@@ -192,31 +227,35 @@ func (req *EstimateRequest) options() (cqa.Options, error) {
 	return opts, nil
 }
 
-// writeRunError maps an estimation/build failure onto a status code.
-func writeRunError(w http.ResponseWriter, err error) {
+// writeRunError maps an estimation/build failure onto a status code and
+// records the code on the request's debug record.
+func writeRunError(w http.ResponseWriter, st *reqState, err error) {
+	status, code := http.StatusInternalServerError, "internal"
 	switch {
 	case errors.Is(err, cqaerr.ErrInvalidOptions):
-		writeError(w, http.StatusBadRequest, "invalid_options", err.Error())
+		status, code = http.StatusBadRequest, "invalid_options"
 	case errors.Is(err, context.DeadlineExceeded):
-		writeError(w, http.StatusGatewayTimeout, "deadline", err.Error())
+		status, code = http.StatusGatewayTimeout, "deadline"
 	case errors.Is(err, cqaerr.ErrCanceled):
 		// The client went away; the status is moot but 499-style closure
 		// needs a code, and 504 is the closest standard one.
-		writeError(w, http.StatusGatewayTimeout, "canceled", err.Error())
+		status, code = http.StatusGatewayTimeout, "canceled"
 	case errors.Is(err, estimator.ErrBudget):
-		writeError(w, http.StatusUnprocessableEntity, "budget_exhausted", err.Error())
-	default:
-		writeError(w, http.StatusInternalServerError, "internal", err.Error())
+		status, code = http.StatusUnprocessableEntity, "budget_exhausted"
 	}
+	st.setReason(code)
+	writeError(w, status, code, err.Error())
 }
 
 func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
+	st := reqStateFrom(r.Context())
 	var req EstimateRequest
 	if !s.decode(w, r, &req) {
 		return
 	}
 	opts, err := req.options()
 	if err != nil {
+		st.setReason("invalid_options")
 		writeError(w, http.StatusBadRequest, "invalid_options", err.Error())
 		return
 	}
@@ -224,9 +263,11 @@ func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
 	auto := req.Scheme == "" || req.Scheme == "auto"
 	if !auto {
 		if scheme, err = cqa.ParseScheme(req.Scheme); err != nil {
+			st.setReason("bad_scheme")
 			writeError(w, http.StatusBadRequest, "bad_scheme", err.Error())
 			return
 		}
+		st.setScheme(scheme.String())
 	}
 
 	ctx, cancel := s.requestContext(r, req.TimeoutMS)
@@ -237,16 +278,16 @@ func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
 	}
 	defer release()
 
-	ctx, span := obs.StartSpan(ctx, "server.estimate")
-	defer span.End()
-
+	_, prepSpan := obs.StartSpan(ctx, "synopsis")
 	prepStart := time.Now()
 	set, source, err := s.synopsisFor(ctx, req.Query)
+	prepSpan.End()
 	if err != nil {
 		if errors.Is(err, cqaerr.ErrCanceled) || errors.Is(err, context.Canceled) ||
 			errors.Is(err, context.DeadlineExceeded) {
-			writeRunError(w, err)
+			writeRunError(w, st, err)
 		} else {
+			st.setReason("bad_query")
 			writeError(w, http.StatusBadRequest, "bad_query", err.Error())
 		}
 		return
@@ -254,11 +295,17 @@ func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
 	prep := time.Since(prepStart)
 	if auto {
 		scheme = cqa.SelectScheme(set)
+		st.setScheme(scheme.String())
 	}
 
-	res, stats, err := cqa.ApxAnswersFromSetContext(ctx, set, scheme, opts)
+	// The estimate child carries the cqa.<Scheme> span tree: the run
+	// attaches to the context's span via ApxAnswersFromSetTracedContext.
+	ectx, espan := obs.StartSpan(ctx, "estimate")
+	res, stats, err := cqa.ApxAnswersFromSetContext(ectx, set, scheme, opts)
+	espan.End()
+	st.setEstimate(stats.Samples, stats.GoodRatio)
 	if err != nil {
-		writeRunError(w, err)
+		writeRunError(w, st, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, EstimateResponse{
@@ -266,16 +313,19 @@ func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
 		Answers:  renderAnswers(s.cfg.DB, res),
 		Synopsis: source,
 		Stats: EstimateStats{
-			Samples:   stats.Samples,
-			NumTuples: stats.NumTuples,
-			GoodRatio: stats.GoodRatio,
-			PrepMS:    float64(prep.Microseconds()) / 1e3,
-			ElapsedMS: float64(stats.Elapsed.Microseconds()) / 1e3,
+			TraceID:     st.traceID(),
+			Samples:     stats.Samples,
+			NumTuples:   stats.NumTuples,
+			GoodRatio:   stats.GoodRatio,
+			QueueWaitMS: st.queueWaitMS(),
+			PrepMS:      ms(prep),
+			ElapsedMS:   ms(stats.Elapsed),
 		},
 	})
 }
 
 func (s *Server) handleSynopsis(w http.ResponseWriter, r *http.Request) {
+	st := reqStateFrom(r.Context())
 	var req SynopsisRequest
 	if !s.decode(w, r, &req) {
 		return
@@ -288,13 +338,16 @@ func (s *Server) handleSynopsis(w http.ResponseWriter, r *http.Request) {
 	}
 	defer release()
 
+	_, prepSpan := obs.StartSpan(ctx, "synopsis")
 	start := time.Now()
 	set, source, err := s.synopsisFor(ctx, req.Query)
+	prepSpan.End()
 	if err != nil {
 		if errors.Is(err, cqaerr.ErrCanceled) || errors.Is(err, context.Canceled) ||
 			errors.Is(err, context.DeadlineExceeded) {
-			writeRunError(w, err)
+			writeRunError(w, st, err)
 		} else {
+			st.setReason("bad_query")
 			writeError(w, http.StatusBadRequest, "bad_query", err.Error())
 		}
 		return

@@ -1,0 +1,217 @@
+package server
+
+import (
+	"context"
+	"sync"
+	"time"
+
+	"cqabench/internal/obs"
+)
+
+// Request-scoped observability: every instrumented request leaves a
+// RequestRecord — trace ID, status, queue wait, latency, estimator
+// stats and the full span tree — in a bounded in-memory ring. The ring
+// backs GET /debug/requests (recent/slowest records with their stage
+// breakdowns) and GET /debug/requests/{id}/trace (one request's span
+// tree as a Perfetto-loadable Chrome trace).
+
+// DefaultRequestLogCap bounds the request ring when Config.RequestLogCap
+// is unset.
+const DefaultRequestLogCap = 256
+
+// StageMS is one entry of a request's fitted stage breakdown (the span
+// tree's direct children merged by name, durations in milliseconds).
+type StageMS struct {
+	Name  string  `json:"name"`
+	DurMS float64 `json:"dur_ms"`
+	Count int     `json:"count,omitempty"`
+}
+
+// RequestRecord is one completed (or rejected) request as kept in the
+// debug ring and returned by /debug/requests.
+type RequestRecord struct {
+	TraceID     string    `json:"trace_id"`
+	Endpoint    string    `json:"endpoint"`
+	Scheme      string    `json:"scheme,omitempty"`
+	Status      int       `json:"status"`
+	Start       time.Time `json:"start"`
+	QueueWaitMS float64   `json:"queue_wait_ms"`
+	LatencyMS   float64   `json:"latency_ms"`
+	Samples     int64     `json:"samples,omitempty"`
+	GoodRatio   float64   `json:"good_ratio,omitempty"`
+	// Reason is the error code of a failed or rejected request
+	// (queue_full, deadline, bad_query, ...); "" on success.
+	Reason string    `json:"reason,omitempty"`
+	Stages []StageMS `json:"stages,omitempty"`
+
+	// trace is the request's full span tree, kept for the per-request
+	// Chrome-trace export; not serialized in listings.
+	trace obs.SpanData
+}
+
+// requestLog is a fixed-capacity ring of the most recent records. Safe
+// for concurrent use.
+type requestLog struct {
+	mu   sync.Mutex
+	ring []RequestRecord
+	next int // ring position of the next add
+	size int // filled entries, <= len(ring)
+}
+
+func newRequestLog(capacity int) *requestLog {
+	if capacity <= 0 {
+		capacity = DefaultRequestLogCap
+	}
+	return &requestLog{ring: make([]RequestRecord, capacity)}
+}
+
+func (l *requestLog) add(rec RequestRecord) {
+	l.mu.Lock()
+	l.ring[l.next] = rec
+	l.next = (l.next + 1) % len(l.ring)
+	if l.size < len(l.ring) {
+		l.size++
+	}
+	l.mu.Unlock()
+}
+
+// recentQuery filters and orders a listing of the ring.
+type recentQuery struct {
+	n          int           // max records to return; <= 0 selects 20
+	minLatency time.Duration // keep records at least this slow
+	errorsOnly bool          // keep only non-2xx / rejected records
+	bySlowest  bool          // order by latency instead of recency
+}
+
+// recent returns up to q.n matching records, most recent first (or
+// slowest first with q.bySlowest).
+func (l *requestLog) recent(q recentQuery) []RequestRecord {
+	if q.n <= 0 {
+		q.n = 20
+	}
+	l.mu.Lock()
+	all := make([]RequestRecord, 0, l.size)
+	// Walk backwards from the newest entry so `all` is recency-ordered.
+	for i := 0; i < l.size; i++ {
+		pos := (l.next - 1 - i + 2*len(l.ring)) % len(l.ring)
+		rec := l.ring[pos]
+		if rec.LatencyMS < float64(q.minLatency.Microseconds())/1e3 {
+			continue
+		}
+		if q.errorsOnly && rec.Status < 400 && rec.Reason == "" {
+			continue
+		}
+		all = append(all, rec)
+	}
+	l.mu.Unlock()
+	if q.bySlowest {
+		// Stable insertion keeps recency order among equal latencies; the
+		// ring is small so O(n²) worst case is irrelevant.
+		for i := 1; i < len(all); i++ {
+			for j := i; j > 0 && all[j].LatencyMS > all[j-1].LatencyMS; j-- {
+				all[j], all[j-1] = all[j-1], all[j]
+			}
+		}
+	}
+	if len(all) > q.n {
+		all = all[:q.n]
+	}
+	return all
+}
+
+// find returns the most recent record with the given trace ID.
+func (l *requestLog) find(traceID string) (RequestRecord, bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for i := 0; i < l.size; i++ {
+		pos := (l.next - 1 - i + 2*len(l.ring)) % len(l.ring)
+		if l.ring[pos].TraceID == traceID {
+			return l.ring[pos], true
+		}
+	}
+	return RequestRecord{}, false
+}
+
+// reqState is the per-request mutable record shared between the
+// instrument wrapper (which creates and finalizes it) and the handlers
+// and admission path (which fill in scheme, queue wait, stats and error
+// reasons). A request is handled by one goroutine at a time, so no lock.
+type reqState struct {
+	rec  RequestRecord
+	span *obs.Span // root server.<endpoint> span
+}
+
+type reqStateKey struct{}
+
+// reqStateFrom returns the request's state, or nil outside an
+// instrumented handler.
+func reqStateFrom(ctx context.Context) *reqState {
+	st, _ := ctx.Value(reqStateKey{}).(*reqState)
+	return st
+}
+
+// setReason records an error/rejection code; nil-safe, first code wins
+// (the earliest failure is the root cause).
+func (st *reqState) setReason(code string) {
+	if st == nil || st.rec.Reason != "" {
+		return
+	}
+	st.rec.Reason = code
+}
+
+// setScheme records the scheme the request resolved to; nil-safe.
+func (st *reqState) setScheme(scheme string) {
+	if st == nil {
+		return
+	}
+	st.rec.Scheme = scheme
+}
+
+// setEstimate records estimator output stats; nil-safe.
+func (st *reqState) setEstimate(samples int64, goodRatio float64) {
+	if st == nil {
+		return
+	}
+	st.rec.Samples = samples
+	st.rec.GoodRatio = goodRatio
+}
+
+// setQueueWait records the admission queue wait; nil-safe.
+func (st *reqState) setQueueWait(d time.Duration) {
+	if st == nil {
+		return
+	}
+	st.rec.QueueWaitMS = ms(d)
+}
+
+// traceID returns the request's trace ID ("" on nil).
+func (st *reqState) traceID() string {
+	if st == nil {
+		return ""
+	}
+	return st.rec.TraceID
+}
+
+// queueWaitMS returns the recorded queue wait (0 on nil).
+func (st *reqState) queueWaitMS() float64 {
+	if st == nil {
+		return 0
+	}
+	return st.rec.QueueWaitMS
+}
+
+// ms converts a duration to milliseconds with microsecond resolution,
+// matching the service's other *_ms fields.
+func ms(d time.Duration) float64 { return float64(d.Microseconds()) / 1e3 }
+
+// stagesMS converts a span stage breakdown to the wire form.
+func stagesMS(stages []obs.Stage) []StageMS {
+	if len(stages) == 0 {
+		return nil
+	}
+	out := make([]StageMS, len(stages))
+	for i, s := range stages {
+		out[i] = StageMS{Name: s.Name, DurMS: ms(s.Dur), Count: s.Count}
+	}
+	return out
+}

@@ -27,6 +27,7 @@ import (
 	"time"
 
 	"cqabench/internal/obs"
+	"cqabench/internal/obs/manifest"
 	"cqabench/internal/relation"
 	"cqabench/internal/syncache"
 	"cqabench/internal/synopsis"
@@ -71,6 +72,20 @@ type Config struct {
 
 	// Logger receives request and lifecycle logs; nil discards them.
 	Logger *slog.Logger
+
+	// RequestLogCap bounds the in-memory ring of recent request records
+	// behind /debug/requests. <= 0 selects DefaultRequestLogCap (256).
+	RequestLogCap int
+
+	// SLOWindows are the rolling windows for the windowed latency
+	// quantiles (server_request_seconds_window and
+	// server_queue_wait_seconds_window). Empty selects ~1m and ~5m.
+	SLOWindows []time.Duration
+
+	// Manifest is the run provenance served by GET /version and embedded
+	// in /metrics.json and per-request trace exports. Nil collects a
+	// fresh one for this process.
+	Manifest *manifest.RunManifest
 }
 
 // Server is the HTTP service. Create with New, start with Start, stop
@@ -88,6 +103,13 @@ type Server struct {
 	admitted atomic.Int64
 	inflight atomic.Int64
 	draining atomic.Bool
+
+	// reqlog is the bounded ring behind /debug/requests; windows
+	// parameterize the rolling latency quantiles; manifest backs
+	// /version and the provenance envelopes.
+	reqlog   *requestLog
+	windows  []time.Duration
+	manifest *manifest.RunManifest
 
 	httpSrv *http.Server
 	ln      net.Listener
@@ -133,20 +155,55 @@ func New(cfg Config) (*Server, error) {
 	if logger == nil {
 		logger = slog.New(slog.NewTextHandler(io.Discard, nil))
 	}
+	windows := cfg.SLOWindows
+	if len(windows) == 0 {
+		windows = obs.DefaultWindows()
+	}
+	for _, w := range windows {
+		if w <= 0 {
+			return nil, fmt.Errorf("server: non-positive SLO window %v", w)
+		}
+	}
+	m := cfg.Manifest
+	if m == nil {
+		collected := manifest.Collect("server", nil)
+		m = &collected
+	}
 	s := &Server{
-		cfg:     cfg,
-		reg:     reg,
-		log:     logger,
-		workers: workers,
-		depth:   depth,
-		sem:     make(chan struct{}, workers),
-		memo:    make(map[string]*synopsis.Set),
+		cfg:      cfg,
+		reg:      reg,
+		log:      logger,
+		workers:  workers,
+		depth:    depth,
+		sem:      make(chan struct{}, workers),
+		memo:     make(map[string]*synopsis.Set),
+		reqlog:   newRequestLog(cfg.RequestLogCap),
+		windows:  windows,
+		manifest: m,
+	}
+	// Register the windowed latency series eagerly so /metrics exposes
+	// them (at zero) from the first scrape, before any traffic.
+	for _, ep := range []string{"/v1/estimate", "/v1/synopsis"} {
+		s.requestSeconds(ep)
+		s.queueWaitSeconds(ep)
 	}
 	s.httpSrv = &http.Server{
 		Handler:           s.routes(),
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 	return s, nil
+}
+
+// requestSeconds returns the windowed end-to-end latency histogram for
+// an endpoint.
+func (s *Server) requestSeconds(endpoint string) *obs.WindowedHistogram {
+	return s.reg.WindowedHistogram("server_request_seconds", s.windows, obs.L("endpoint", endpoint))
+}
+
+// queueWaitSeconds returns the windowed admission-queue wait histogram
+// for an endpoint.
+func (s *Server) queueWaitSeconds(endpoint string) *obs.WindowedHistogram {
+	return s.reg.WindowedHistogram("server_queue_wait_seconds", s.windows, obs.L("endpoint", endpoint))
 }
 
 // Registry returns the metrics registry the server reports into.
@@ -188,24 +245,44 @@ func (s *Server) Inflight() int64 { return s.inflight.Load() }
 // refuse when workers+depth requests are already admitted (429), then
 // wait for a worker slot, giving up if ctx expires first (504). On
 // success the caller must call the returned release exactly once.
+//
+// The wait for a slot is attributed to a queue.wait child of the
+// request's span and observed in server_queue_wait_seconds, so queue
+// time is separable from estimation time both per request and in the
+// aggregate quantiles.
 func (s *Server) admit(ctx context.Context, w http.ResponseWriter) (release func(), ok bool) {
+	st := reqStateFrom(ctx)
 	if s.draining.Load() {
-		s.reject(w, http.StatusServiceUnavailable, "draining", "server is shutting down")
+		s.reject(w, st, http.StatusServiceUnavailable, "draining", "server is shutting down")
 		return nil, false
 	}
 	if n := s.admitted.Add(1); n > int64(s.workers+s.depth) {
 		s.admitted.Add(-1)
-		s.reject(w, http.StatusTooManyRequests, "queue_full",
+		s.reject(w, st, http.StatusTooManyRequests, "queue_full",
 			fmt.Sprintf("%d requests already admitted (workers=%d queue=%d)", n-1, s.workers, s.depth))
 		return nil, false
 	}
 	s.gauges()
+	qspan := obs.FromContext(ctx).StartChild("queue.wait")
+	waitStart := time.Now()
+	recordWait := func() {
+		qspan.End()
+		wait := time.Since(waitStart)
+		st.setQueueWait(wait)
+		endpoint := "unknown"
+		if st != nil {
+			endpoint = st.rec.Endpoint
+		}
+		s.queueWaitSeconds(endpoint).ObserveDuration(wait)
+	}
 	select {
 	case s.sem <- struct{}{}:
+		recordWait()
 	case <-ctx.Done():
+		recordWait()
 		s.admitted.Add(-1)
 		s.gauges()
-		s.reject(w, http.StatusGatewayTimeout, "deadline", "request expired while queued")
+		s.reject(w, st, http.StatusGatewayTimeout, "deadline", "request expired while queued")
 		return nil, false
 	}
 	s.inflight.Add(1)
@@ -230,9 +307,11 @@ func (s *Server) gauges() {
 	s.reg.Gauge("server_queue_depth").Set(float64(waiting))
 }
 
-// reject writes an admission failure and counts it.
-func (s *Server) reject(w http.ResponseWriter, status int, reason, msg string) {
+// reject writes an admission failure, counts it, and records the reason
+// on the request's debug record (st may be nil).
+func (s *Server) reject(w http.ResponseWriter, st *reqState, status int, reason, msg string) {
 	s.reg.Counter("server_rejected_total", obs.L("reason", reason)).Inc()
+	st.setReason(reason)
 	if status == http.StatusTooManyRequests || status == http.StatusServiceUnavailable {
 		w.Header().Set("Retry-After", "1")
 	}
