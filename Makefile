@@ -17,6 +17,7 @@ check:
 	$(GO) test -race ./internal/sampler/...
 	$(GO) test -race -run 'TestBatched|TestReserve' ./internal/estimator/...
 	$(GO) test -race -run 'TestKernel|TestGolden' ./internal/cqa/...
+	$(GO) test -race ./internal/audit/...
 	$(GO) build -o /tmp/cqabench-docscheck ./cmd/cqabench
 	$(GO) run ./cmd/docscheck -bin /tmp/cqabench-docscheck \
 		README.md EXPERIMENTS.md docs/ARCHITECTURE.md docs/FORMATS.md docs/OBSERVABILITY.md docs/SERVICE.md

@@ -73,6 +73,8 @@ func run(args []string) error {
 		return cmdGrid(args[1:])
 	case "accuracy":
 		return cmdAccuracy(args[1:])
+	case "audit":
+		return cmdAudit(args[1:])
 	case "report":
 		return cmdReport(args[1:])
 	case "export":
@@ -112,6 +114,7 @@ subcommands:
   stats     inconsistency statistics and dynamic query parameters
   grid      regenerate the full appendix scenario matrix (Figures 6-13)
   accuracy  audit empirical (eps, delta) accuracy against exact frequencies
+  audit     calibrate the (eps, delta) guarantee over repeated trials (JSON + violation gate)
   report    run all scenario families and emit a markdown report
   export    write one scenario family to a directory (schema + dbs + manifest)
   runscenario  measure all schemes over an exported scenario directory

@@ -63,6 +63,7 @@ func cmdServe(args []string) error {
 	logFormat := fs.String("log-format", "text", "log output format: text or json")
 	reqlogCap := fs.Int("requestlog-cap", server.DefaultRequestLogCap, "recent requests kept for /debug/requests (0 = default)")
 	sloWindows := fs.String("slo-windows", "1m,5m", "comma-separated rolling windows for *_window latency quantiles")
+	enablePprof := fs.Bool("pprof", false, "mount the runtime profile handlers at /debug/pprof/ on the service mux")
 	openCache := cacheFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -118,6 +119,7 @@ func cmdServe(args []string) error {
 		Logger:         logger,
 		RequestLogCap:  *reqlogCap,
 		SLOWindows:     windows,
+		EnablePprof:    *enablePprof,
 		Manifest:       &man,
 	})
 	if err != nil {

@@ -80,6 +80,9 @@ type Options struct {
 	// Deadline, if set, also bounds the run as a whole, mirroring the
 	// paper's per-scenario timeout.
 	Budget estimator.Budget
+	// Convergence opts the run into per-tuple convergence-trajectory
+	// recording (off by default; see ConvergenceOptions).
+	Convergence ConvergenceOptions
 }
 
 // DefaultOptions returns the paper's experimental setting.
@@ -108,7 +111,7 @@ func (o Options) Validate() error {
 	if o.Budget.MaxSamples < 0 {
 		return fmt.Errorf("cqa: negative sample budget %d: %w", o.Budget.MaxSamples, ErrInvalidOptions)
 	}
-	return nil
+	return o.Convergence.validate()
 }
 
 // TupleFreq pairs an answer tuple with its approximate relative frequency.
@@ -135,6 +138,9 @@ type Stats struct {
 	// estimate, other), from the run's span tree. Empty for parallel runs,
 	// where per-worker wall times overlap and cannot be summed.
 	Stages []obs.Stage
+	// Convergence holds the recorded per-tuple trajectories when
+	// Options.Convergence.Enabled was set; nil otherwise.
+	Convergence []TupleTrajectory
 }
 
 // ApxRelativeFreq approximates R(H, B) for a single admissible pair with
@@ -152,6 +158,9 @@ type tupleResult struct {
 	freq    float64
 	samples int64
 	good    float64
+	// trajectory is the recorded convergence trajectory, nil unless
+	// opts.Convergence.Enabled was set for this tuple.
+	trajectory []estimator.TrajectoryPoint
 }
 
 // apxRelativeFreq is ApxRelativeFreq with stage attribution — when
@@ -160,6 +169,11 @@ type tupleResult struct {
 // estimation loops' chunk boundaries, never perturbing the PRNG stream
 // of an uncancelled run.
 func apxRelativeFreq(ctx context.Context, pair *synopsis.Admissible, scheme Scheme, opts Options, src *mt.Source, parent *obs.Span) (tupleResult, error) {
+	var rec *estimator.Recorder
+	if opts.Convergence.Enabled {
+		rec = estimator.NewRecorder(opts.Convergence.MaxPoints)
+		ctx = estimator.WithRecorder(ctx, rec)
+	}
 	// Both kernels of a scheme consume the PRNG stream identically, so the
 	// shape-based choice affects throughput only, never the estimate.
 	kernel := sampler.SelectKernel(pair)
@@ -223,7 +237,11 @@ func apxRelativeFreq(ctx context.Context, pair *synopsis.Admissible, scheme Sche
 	if est < 0 {
 		est = 0
 	}
-	return tupleResult{freq: est, samples: r.Samples, good: r.Estimate}, err
+	res := tupleResult{freq: est, samples: r.Samples, good: r.Estimate}
+	if rec != nil {
+		res.trajectory = rec.Points()
+	}
+	return res, err
 }
 
 // recordRunMetrics publishes one scheme run's telemetry into the default
@@ -307,9 +325,14 @@ func ApxAnswersFromSetTracedContext(ctx context.Context, set *synopsis.Set, sche
 	}
 	for i := range set.Entries {
 		e := &set.Entries[i]
-		res, err := apxRelativeFreq(ctx, e.Pair, scheme, opts, src, root)
+		o := opts
+		o.Convergence.Enabled = opts.Convergence.records(i)
+		res, err := apxRelativeFreq(ctx, e.Pair, scheme, o, src, root)
 		stats.Samples += res.samples
 		goodSum += res.good * float64(res.samples)
+		if res.trajectory != nil {
+			stats.Convergence = append(stats.Convergence, TupleTrajectory{Tuple: i, Points: res.trajectory})
+		}
 		if err != nil {
 			finish(err)
 			return nil, stats, fmt.Errorf("cqa: tuple %d: %w", i, err)

@@ -54,7 +54,9 @@ func ApxAnswersParallelContext(ctx context.Context, set *synopsis.Set, scheme Sc
 				// Deterministic per-tuple stream: the same tuple always
 				// sees the same randomness, whatever the worker count.
 				src := mt.New(opts.Seed + uint64(i)*0x9E3779B97F4A7C15)
-				res, err := apxRelativeFreq(ctx, e.Pair, scheme, opts, src, nil)
+				o := opts
+				o.Convergence.Enabled = opts.Convergence.records(i)
+				res, err := apxRelativeFreq(ctx, e.Pair, scheme, o, src, nil)
 				out[i] = TupleFreq{Tuple: e.Tuple, Freq: res.freq}
 				results[i] = res
 				errs[i] = err
@@ -74,6 +76,10 @@ func ApxAnswersParallelContext(ctx context.Context, set *synopsis.Set, scheme Sc
 	for i := 0; i < n; i++ {
 		stats.Samples += results[i].samples
 		goodSum += results[i].good * float64(results[i].samples)
+		if results[i].trajectory != nil {
+			// Collected in index order, matching the sequential path.
+			stats.Convergence = append(stats.Convergence, TupleTrajectory{Tuple: i, Points: results[i].trajectory})
+		}
 		if errs[i] != nil && firstErr == nil {
 			firstErr, firstErrTuple = errs[i], i
 		}

@@ -46,6 +46,7 @@ func SelfAdjustingCoverageContext(ctx context.Context, space SymbolicSpace, eps,
 		return Result{}, fmt.Errorf("estimator: require 0 < eps < 1 and 0 < delta < 1: %w", ErrInvalidOptions)
 	}
 	bt := &budgetTracker{budget: budget, ctx: trackerCtx(ctx)}
+	rec := RecorderFrom(ctx)
 	m := space.NumImages()
 	n := int64(math.Ceil(8 * (1 + eps) * float64(m) * math.Log(3/delta) /
 		((1 - eps*eps/8) * eps * eps)))
@@ -61,6 +62,21 @@ outer:
 			}
 			if err := bt.charge(1); err != nil {
 				return Result{Samples: bt.samples}, err
+			}
+			// The coverage walk charges one draw per step, so checkpoints
+			// land every ctxStride steps — the same cadence as the batched
+			// loops' chunk boundaries.
+			if rec != nil && steps%ctxStride == 0 {
+				tr, tot := trials, total
+				if tr == 0 {
+					tr, tot = 1, steps
+				}
+				rec.observe(TrajectoryPoint{
+					Samples:  bt.samples,
+					Estimate: float64(tot) * space.Weight() / (float64(m) * float64(tr)),
+					Progress: float64(steps) / float64(n),
+					Phase:    "coverage",
+				})
 			}
 			j := src.Intn(m)
 			if space.InSet(j) {
@@ -79,6 +95,11 @@ outer:
 	}
 	// |∪| ≈ (total/trials) · |S•| / m; normalize by |db(B)|.
 	est := float64(total) * space.Weight() / (float64(m) * float64(trials))
+	if rec != nil {
+		rec.final(TrajectoryPoint{
+			Samples: bt.samples, Estimate: est, Progress: 1, Phase: "coverage",
+		})
+	}
 	r := obs.Default()
 	r.Counter("estimator_coverage_runs_total").Inc()
 	r.Counter("estimator_coverage_steps_total").Add(bt.samples)

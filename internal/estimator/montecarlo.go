@@ -177,6 +177,7 @@ func StoppingRule(s Sampler, eps, delta float64, src *mt.Source, budget Budget) 
 // canceled the result is byte-identical to StoppingRule.
 func StoppingRuleContext(ctx context.Context, s Sampler, eps, delta float64, src *mt.Source, budget Budget) (Result, error) {
 	bt := &budgetTracker{budget: budget, ctx: trackerCtx(ctx)}
+	rec := RecorderFrom(ctx)
 	upsilon1 := 1 + (1+eps)*upsilon(eps, delta)
 	br := newBatcher(s)
 	sum := 0.0
@@ -200,8 +201,24 @@ func StoppingRuleContext(ctx context.Context, s Sampler, eps, delta float64, src
 				break // the crossing index: always the chunk's last draw
 			}
 		}
+		if rec != nil {
+			prog := sum / upsilon1
+			if prog > 1 {
+				prog = 1
+			}
+			rec.observe(TrajectoryPoint{
+				Samples: bt.samples, Estimate: sum / float64(n),
+				Progress: prog, Phase: "stopping",
+			})
+		}
 	}
-	return Result{Estimate: upsilon1 / float64(n), Samples: bt.samples}, nil
+	res := Result{Estimate: upsilon1 / float64(n), Samples: bt.samples}
+	if rec != nil {
+		rec.final(TrajectoryPoint{
+			Samples: bt.samples, Estimate: res.Estimate, Progress: 1, Phase: "stopping",
+		})
+	}
+	return res, nil
 }
 
 // MonteCarlo implements the 𝒜𝒜 algorithm of [8]: an optimal
@@ -225,6 +242,7 @@ func MonteCarloContext(ctx context.Context, s Sampler, eps, delta float64, src *
 		return Result{}, fmt.Errorf("estimator: require 0 < eps < 1 and 0 < delta < 1: %w", ErrInvalidOptions)
 	}
 	bt := &budgetTracker{budget: budget, ctx: trackerCtx(ctx)}
+	rec := RecorderFrom(ctx)
 	br := newBatcher(s)
 
 	// Step 1: rough estimate via the stopping rule at accuracy
@@ -265,6 +283,12 @@ func MonteCarloContext(ctx context.Context, s Sampler, eps, delta float64, src *
 			sq += d * d / 2
 		}
 		done += pairs
+		if rec != nil {
+			rec.observe(TrajectoryPoint{
+				Samples: bt.samples, Estimate: sq / float64(done),
+				Progress: float64(done) / float64(n2), Phase: "variance",
+			})
+		}
 	}
 	rhoHat := math.Max(sq/float64(n2), eps*muHat)
 	phase2 := bt.samples - phase1
@@ -288,11 +312,22 @@ func MonteCarloContext(ctx context.Context, s Sampler, eps, delta float64, src *
 			sum += v
 		}
 		done += granted
+		if rec != nil {
+			rec.observe(TrajectoryPoint{
+				Samples: bt.samples, Estimate: sum / float64(done),
+				Progress: float64(done) / float64(n3), Phase: "final",
+			})
+		}
 	}
 	res := Result{
 		Estimate: sum / float64(n3),
 		Samples:  bt.samples,
 		Phases:   [3]int64{phase1, phase2, bt.samples - phase1 - phase2},
+	}
+	if rec != nil {
+		rec.final(TrajectoryPoint{
+			Samples: bt.samples, Estimate: res.Estimate, Progress: 1, Phase: "final",
+		})
 	}
 	recordMCMetrics(res)
 	return res, nil
@@ -324,6 +359,7 @@ func FixedSamplesContext(ctx context.Context, s Sampler, eps, delta, meanLB floa
 		return Result{}, errors.New("estimator: FixedSamples requires a positive mean lower bound")
 	}
 	bt := &budgetTracker{budget: budget, ctx: trackerCtx(ctx)}
+	rec := RecorderFrom(ctx)
 	br := newBatcher(s)
 	n := int64(math.Ceil(upsilon(eps, delta) / meanLB))
 	if n < 1 {
@@ -343,6 +379,18 @@ func FixedSamplesContext(ctx context.Context, s Sampler, eps, delta, meanLB floa
 			sum += v
 		}
 		done += granted
+		if rec != nil {
+			rec.observe(TrajectoryPoint{
+				Samples: bt.samples, Estimate: sum / float64(done),
+				Progress: float64(done) / float64(n), Phase: "fixed",
+			})
+		}
 	}
-	return Result{Estimate: sum / float64(n), Samples: bt.samples}, nil
+	res := Result{Estimate: sum / float64(n), Samples: bt.samples}
+	if rec != nil {
+		rec.final(TrajectoryPoint{
+			Samples: bt.samples, Estimate: res.Estimate, Progress: 1, Phase: "fixed",
+		})
+	}
+	return res, nil
 }

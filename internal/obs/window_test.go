@@ -185,6 +185,108 @@ func TestWindowedHistogramConcurrent(t *testing.T) {
 	}
 }
 
+// An idle windowed histogram must export well-formed zero series: no
+// NaNs, count 0, quantiles 0 — scrape targets exist before traffic.
+func TestWindowedHistogramEmptyWindowExport(t *testing.T) {
+	r := NewRegistry()
+	wh := r.WindowedHistogram("idle_seconds", nil, L("endpoint", "/x"))
+	for _, win := range wh.Windows() {
+		s := wh.WindowSnapshot(win)
+		if s.Count != 0 || s.Sum != 0 || s.Min != 0 || s.Max != 0 {
+			t.Fatalf("idle snapshot for %v = %+v, want zero", win, s)
+		}
+		for _, q := range []float64{0, 0.5, 0.99, 1} {
+			if v := s.Quantile(q); v != 0 {
+				t.Fatalf("idle q%v = %v, want 0", q, v)
+			}
+		}
+	}
+	var prom bytes.Buffer
+	if err := r.WritePrometheus(&prom); err != nil {
+		t.Fatal(err)
+	}
+	text := prom.String()
+	for _, want := range []string{
+		`idle_seconds_window{endpoint="/x",quantile="0.99",window="1m"} 0`,
+		`idle_seconds_window_count{endpoint="/x",window="1m"} 0`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("idle export missing %q:\n%s", want, text)
+		}
+	}
+	if strings.Contains(text, "NaN") {
+		t.Errorf("idle export contains NaN:\n%s", text)
+	}
+}
+
+// Asking for a window shorter than one ring slot degrades to the current
+// slot rather than an empty (or panicking) read; and construction with a
+// sub-millisecond window clamps the slot duration instead of dividing to
+// zero.
+func TestWindowedHistogramWindowShorterThanSlot(t *testing.T) {
+	r := NewRegistry()
+	// 1m window → 5s slots; a 1s query is below one slot.
+	wh := r.WindowedHistogram("short_seconds", []time.Duration{time.Minute})
+	clock := newFakeClock(time.Unix(9_000, 0))
+	wh.SetNowFunc(clock.Now)
+	wh.Observe(0.5)
+	if s := wh.WindowSnapshot(time.Second); s.Count != 1 || s.Min != 0.5 {
+		t.Fatalf("sub-slot window snapshot = %+v, want the current slot", s)
+	}
+	// Advance past the current slot: the sub-slot view drains with it.
+	clock.Advance(10 * time.Second)
+	if s := wh.WindowSnapshot(time.Second); s.Count != 0 {
+		t.Fatalf("sub-slot window after slot expiry = %+v, want empty", s)
+	}
+
+	// A 5ms window divides to a sub-millisecond slot; the constructor
+	// clamps to 1ms and the ring still works.
+	tiny := r.WindowedHistogram("tiny_seconds", []time.Duration{5 * time.Millisecond})
+	tclock := newFakeClock(time.Unix(10_000, 0))
+	tiny.SetNowFunc(tclock.Now)
+	tiny.Observe(1)
+	if s := tiny.WindowSnapshot(5 * time.Millisecond); s.Count != 1 {
+		t.Fatalf("tiny-window snapshot = %+v, want count 1", s)
+	}
+	tclock.Advance(20 * time.Millisecond)
+	if s := tiny.WindowSnapshot(5 * time.Millisecond); s.Count != 0 {
+		t.Fatalf("tiny-window after expiry = %+v, want empty", s)
+	}
+}
+
+// A clock that steps backwards (NTP correction, test reuse of a fake
+// clock) must not panic, corrupt counts, or resurrect stale slots: the
+// earlier observation lands in a past slot that a backwards read still
+// finds, and moving forward again recovers.
+func TestWindowedHistogramClockBackwards(t *testing.T) {
+	r := NewRegistry()
+	wh := r.WindowedHistogram("back_seconds", []time.Duration{time.Minute})
+	clock := newFakeClock(time.Unix(20_000, 0))
+	wh.SetNowFunc(clock.Now)
+
+	wh.Observe(1.0)
+	clock.Advance(-30 * time.Second)
+	wh.Observe(2.0) // lands in an earlier slot than the first observation
+	if s := wh.WindowSnapshot(time.Minute); s.Count != 1 || s.Min != 2.0 {
+		t.Fatalf("backwards-time snapshot = %+v, want only the backdated point", s)
+	}
+	// Forward again: both slots are within the minute once more.
+	clock.Advance(30 * time.Second)
+	if s := wh.WindowSnapshot(time.Minute); s.Count != 2 || s.Min != 1.0 || s.Max != 2.0 {
+		t.Fatalf("recovered snapshot = %+v, want both points", s)
+	}
+	if got := wh.Cumulative().Snapshot().Count; got != 2 {
+		t.Fatalf("cumulative count = %d, want 2", got)
+	}
+	// A pre-epoch clock produces negative slot indices; reads and writes
+	// must still map into the ring.
+	clock.ns.Store(time.Unix(-3600, 0).UnixNano())
+	wh.Observe(3.0)
+	if s := wh.WindowSnapshot(time.Minute); s.Count != 1 || s.Min != 3.0 {
+		t.Fatalf("negative-index snapshot = %+v, want the fresh point", s)
+	}
+}
+
 func TestFormatWindow(t *testing.T) {
 	cases := map[time.Duration]string{
 		time.Minute:            "1m",

@@ -7,6 +7,7 @@ import (
 	"strconv"
 	"time"
 
+	"cqabench/internal/cqa"
 	"cqabench/internal/obs"
 	"cqabench/internal/obs/manifest"
 	"cqabench/internal/obs/trace"
@@ -34,6 +35,7 @@ func (s *Server) handleVersion(w http.ResponseWriter, r *http.Request) {
 // same {"manifest": ..., "metrics": ...} provenance envelope that
 // `cqabench run -metrics-out` writes.
 func (s *Server) handleMetricsJSON(w http.ResponseWriter, r *http.Request) {
+	s.refreshUptime()
 	var buf bytes.Buffer
 	if err := s.reg.WriteJSON(&buf); err != nil {
 		writeError(w, http.StatusInternalServerError, "internal", err.Error())
@@ -106,4 +108,34 @@ func (s *Server) handleDebugRequestTrace(w http.ResponseWriter, r *http.Request)
 	}
 	w.Header().Set("Content-Type", "application/json")
 	_ = trace.WriteChrome(w, s.manifest, []obs.SpanData{rec.trace})
+}
+
+// ConvergenceResponse is the body of GET /debug/requests/{id}/convergence.
+type ConvergenceResponse struct {
+	TraceID     string                `json:"trace_id"`
+	Scheme      string                `json:"scheme,omitempty"`
+	Convergence []cqa.TupleTrajectory `json:"convergence"`
+}
+
+// handleDebugRequestConvergence serves the per-tuple trajectories a
+// request recorded. Requests without `"convergence": true` leave no
+// trajectory, which is a distinct 404 from an unknown trace ID.
+func (s *Server) handleDebugRequestConvergence(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	rec, ok := s.reqlog.find(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, "not_found",
+			"no recorded request with trace id "+strconv.Quote(id))
+		return
+	}
+	if rec.convergence == nil {
+		writeError(w, http.StatusNotFound, "no_convergence",
+			`request `+strconv.Quote(id)+` did not record convergence (set "convergence": true on /v1/estimate)`)
+		return
+	}
+	writeJSON(w, http.StatusOK, ConvergenceResponse{
+		TraceID:     rec.TraceID,
+		Scheme:      rec.Scheme,
+		Convergence: rec.convergence,
+	})
 }

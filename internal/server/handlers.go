@@ -6,6 +6,7 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"net/http/pprof"
 	"time"
 
 	"cqabench/internal/cq"
@@ -36,7 +37,22 @@ type EstimateRequest struct {
 	// TimeoutMS bounds this request's wall time; 0 selects the server's
 	// default, larger values are capped at its maximum.
 	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+	// Convergence opts this request into trajectory recording: the
+	// response (and the request's debug record) carries per-tuple
+	// convergence trajectories for the first few answer tuples.
+	Convergence bool `json:"convergence,omitempty"`
+	// ConvergencePoints bounds each tuple's trajectory length; 0 selects
+	// the estimator default, values above the service cap are clamped.
+	ConvergencePoints int `json:"convergence_points,omitempty"`
 }
+
+// Service-side caps on opt-in convergence recording: trajectories ride
+// in JSON responses and the debug ring, so their size is bounded here
+// rather than by whatever the client asks for.
+const (
+	maxConvergencePoints = 512
+	maxConvergenceTuples = 8
+)
 
 // Answer is one graded answer tuple.
 type Answer struct {
@@ -61,6 +77,9 @@ type EstimateResponse struct {
 	Answers  []Answer      `json:"answers"`
 	Stats    EstimateStats `json:"stats"`
 	Synopsis string        `json:"synopsis"` // "memo", "load" or "build"
+	// Convergence holds per-tuple estimate trajectories when the request
+	// set "convergence": true; absent otherwise.
+	Convergence []cqa.TupleTrajectory `json:"convergence,omitempty"`
 }
 
 // SynopsisRequest is the body of POST /v1/synopsis.
@@ -118,11 +137,20 @@ func (s *Server) routes() *http.ServeMux {
 	mux.HandleFunc("GET /version", s.handleVersion)
 	mux.HandleFunc("GET /debug/requests", s.handleDebugRequests)
 	mux.HandleFunc("GET /debug/requests/{id}/trace", s.handleDebugRequestTrace)
+	mux.HandleFunc("GET /debug/requests/{id}/convergence", s.handleDebugRequestConvergence)
 	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+		s.refreshUptime()
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
 		_ = s.reg.WritePrometheus(w)
 	})
 	mux.HandleFunc("GET /metrics.json", s.handleMetricsJSON)
+	if s.cfg.EnablePprof {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
 	return mux
 }
 
@@ -221,6 +249,17 @@ func (req *EstimateRequest) options() (cqa.Options, error) {
 		opts.Seed = req.Seed
 	}
 	opts.Budget.MaxSamples = req.MaxSamples
+	if req.Convergence {
+		pts := req.ConvergencePoints
+		if pts > maxConvergencePoints {
+			pts = maxConvergencePoints
+		}
+		opts.Convergence = cqa.ConvergenceOptions{
+			Enabled:   true,
+			MaxPoints: pts,
+			MaxTuples: maxConvergenceTuples,
+		}
+	}
 	if err := opts.Validate(); err != nil {
 		return cqa.Options{}, err
 	}
@@ -304,14 +343,16 @@ func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
 	res, stats, err := cqa.ApxAnswersFromSetContext(ectx, set, scheme, opts)
 	espan.End()
 	st.setEstimate(stats.Samples, stats.GoodRatio)
+	st.setConvergence(stats.Convergence)
 	if err != nil {
 		writeRunError(w, st, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, EstimateResponse{
-		Scheme:   scheme.String(),
-		Answers:  renderAnswers(s.cfg.DB, res),
-		Synopsis: source,
+		Scheme:      scheme.String(),
+		Answers:     renderAnswers(s.cfg.DB, res),
+		Synopsis:    source,
+		Convergence: stats.Convergence,
 		Stats: EstimateStats{
 			TraceID:     st.traceID(),
 			Samples:     stats.Samples,

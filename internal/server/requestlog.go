@@ -5,6 +5,7 @@ import (
 	"sync"
 	"time"
 
+	"cqabench/internal/cqa"
 	"cqabench/internal/obs"
 )
 
@@ -45,8 +46,11 @@ type RequestRecord struct {
 	Stages []StageMS `json:"stages,omitempty"`
 
 	// trace is the request's full span tree, kept for the per-request
-	// Chrome-trace export; not serialized in listings.
-	trace obs.SpanData
+	// Chrome-trace export; not serialized in listings. convergence is the
+	// opt-in per-tuple trajectory set, served by
+	// /debug/requests/{id}/convergence rather than inlined in listings.
+	trace       obs.SpanData
+	convergence []cqa.TupleTrajectory
 }
 
 // requestLog is a fixed-capacity ring of the most recent records. Safe
@@ -174,6 +178,14 @@ func (st *reqState) setEstimate(samples int64, goodRatio float64) {
 	}
 	st.rec.Samples = samples
 	st.rec.GoodRatio = goodRatio
+}
+
+// setConvergence records opt-in convergence trajectories; nil-safe.
+func (st *reqState) setConvergence(traj []cqa.TupleTrajectory) {
+	if st == nil || traj == nil {
+		return
+	}
+	st.rec.convergence = traj
 }
 
 // setQueueWait records the admission queue wait; nil-safe.

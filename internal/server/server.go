@@ -82,6 +82,11 @@ type Config struct {
 	// server_queue_wait_seconds_window). Empty selects ~1m and ~5m.
 	SLOWindows []time.Duration
 
+	// EnablePprof mounts the runtime profile handlers (/debug/pprof/...)
+	// on the service mux. Off by default: profiles expose internals and
+	// cost CPU, so exposing them is an explicit operator decision.
+	EnablePprof bool
+
 	// Manifest is the run provenance served by GET /version and embedded
 	// in /metrics.json and per-request trace exports. Nil collects a
 	// fresh one for this process.
@@ -106,10 +111,12 @@ type Server struct {
 
 	// reqlog is the bounded ring behind /debug/requests; windows
 	// parameterize the rolling latency quantiles; manifest backs
-	// /version and the provenance envelopes.
+	// /version and the provenance envelopes; started anchors
+	// server_uptime_seconds.
 	reqlog   *requestLog
 	windows  []time.Duration
 	manifest *manifest.RunManifest
+	started  time.Time
 
 	httpSrv *http.Server
 	ln      net.Listener
@@ -180,6 +187,7 @@ func New(cfg Config) (*Server, error) {
 		reqlog:   newRequestLog(cfg.RequestLogCap),
 		windows:  windows,
 		manifest: m,
+		started:  time.Now(),
 	}
 	// Register the windowed latency series eagerly so /metrics exposes
 	// them (at zero) from the first scrape, before any traffic.
@@ -187,6 +195,16 @@ func New(cfg Config) (*Server, error) {
 		s.requestSeconds(ep)
 		s.queueWaitSeconds(ep)
 	}
+	// server_build_info is the Prometheus build-info idiom: a constant 1
+	// whose labels carry the identity, so dashboards can join on it and
+	// alert on version changes. server_uptime_seconds resets on restart.
+	sha := m.GitSHA
+	if sha == "" {
+		sha = "unknown"
+	}
+	s.reg.Gauge("server_build_info",
+		obs.L("git_sha", sha), obs.L("go_version", m.GoVersion)).Set(1)
+	s.refreshUptime()
 	s.httpSrv = &http.Server{
 		Handler:           s.routes(),
 		ReadHeaderTimeout: 10 * time.Second,
@@ -208,6 +226,12 @@ func (s *Server) queueWaitSeconds(endpoint string) *obs.WindowedHistogram {
 
 // Registry returns the metrics registry the server reports into.
 func (s *Server) Registry() *obs.Registry { return s.reg }
+
+// refreshUptime recomputes server_uptime_seconds; the metrics handlers
+// call it per scrape so the gauge is current without a ticker goroutine.
+func (s *Server) refreshUptime() {
+	s.reg.Gauge("server_uptime_seconds").Set(time.Since(s.started).Seconds())
+}
 
 // Start binds addr (host:port; port 0 picks a free one) and serves until
 // Shutdown. It returns the bound address immediately; serve errors after
