@@ -7,20 +7,24 @@ GO ?= go
 all: build vet test
 
 # The CI gate: vet, formatting, the race-sensitive subset, and docs
-# consistency (every flag the docs mention must exist in cqabench -h).
+# consistency (every flag the docs mention must exist in cqabench -h,
+# every documented /v1/ and /debug/ endpoint must be registered).
 check:
 	$(GO) vet ./...
 	@fmtout=$$(gofmt -l .); if [ -n "$$fmtout" ]; then \
 		echo "gofmt needed on:"; echo "$$fmtout"; exit 1; fi
 	$(GO) test -race ./internal/obs/... ./internal/harness/... ./internal/syncache/... ./internal/server/...
 	$(GO) test -race -run 'TestWindowed|TestTraceID|TestTraceIDEcho|TestDebugRequest' ./internal/obs ./internal/server
+	$(GO) test -race -run 'TestInstance|TestEstimateSingleFlight|TestFlightGroup|TestSynopsisLRU' ./internal/scenario ./internal/server
 	$(GO) test -race ./internal/sampler/...
 	$(GO) test -race -run 'TestBatched|TestReserve' ./internal/estimator/...
 	$(GO) test -race -run 'TestKernel|TestGolden' ./internal/cqa/...
 	$(GO) test -race ./internal/audit/...
 	$(GO) build -o /tmp/cqabench-docscheck ./cmd/cqabench
 	$(GO) run ./cmd/docscheck -bin /tmp/cqabench-docscheck \
-		README.md EXPERIMENTS.md docs/ARCHITECTURE.md docs/FORMATS.md docs/OBSERVABILITY.md docs/SERVICE.md
+		-endpoints-dir internal/server,internal/obs \
+		README.md EXPERIMENTS.md docs/ARCHITECTURE.md docs/FORMATS.md \
+		docs/OBSERVABILITY.md docs/SERVICE.md docs/REGISTRY.md
 
 build:
 	$(GO) build ./...

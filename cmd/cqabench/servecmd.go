@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"strconv"
 	"strings"
 	"syscall"
 	"time"
@@ -13,6 +14,7 @@ import (
 	"cqabench/internal/obs"
 	"cqabench/internal/obs/manifest"
 	"cqabench/internal/relation"
+	"cqabench/internal/scenario"
 	"cqabench/internal/server"
 	"cqabench/internal/tpcds"
 	"cqabench/internal/tpch"
@@ -42,18 +44,50 @@ func parseWindows(s string) ([]time.Duration, error) {
 	return out, nil
 }
 
-// cmdServe runs the long-lived estimation service: it fixes one database
-// instance at startup (loaded from -in or generated from -benchmark/-sf)
-// and serves POST /v1/estimate and /v1/synopsis against it until
-// SIGINT/SIGTERM, then drains in-flight requests for up to -drain-timeout.
+// parseBytes parses a byte size: a plain integer (bytes) or an integer
+// with a B/KiB/MiB/GiB suffix. "0" disables the budget.
+func parseBytes(s string) (int64, error) {
+	s = strings.TrimSpace(s)
+	mult := int64(1)
+	switch {
+	case strings.HasSuffix(s, "GiB"):
+		mult, s = 1<<30, strings.TrimSuffix(s, "GiB")
+	case strings.HasSuffix(s, "MiB"):
+		mult, s = 1<<20, strings.TrimSuffix(s, "MiB")
+	case strings.HasSuffix(s, "KiB"):
+		mult, s = 1<<10, strings.TrimSuffix(s, "KiB")
+	case strings.HasSuffix(s, "B"):
+		s = strings.TrimSuffix(s, "B")
+	}
+	n, err := strconv.ParseInt(strings.TrimSpace(s), 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad byte size %q (want e.g. 64MiB, 512KiB, 1048576)", s)
+	}
+	if n < 0 {
+		return 0, fmt.Errorf("byte size must be non-negative")
+	}
+	if mult > 1 && n > (1<<62)/mult {
+		return 0, fmt.Errorf("byte size %q overflows", s)
+	}
+	return n * mult, nil
+}
+
+// cmdServe runs the long-lived estimation service. Instances come from
+// an -instances manifest (many named databases), from the single
+// -in/-benchmark flags (registered as "default"), or from neither — an
+// empty registry populated at runtime via POST /v1/instances. The
+// service runs until SIGINT/SIGTERM, then drains in-flight requests for
+// up to -drain-timeout.
 func cmdServe(args []string) error {
 	fs := flag.NewFlagSet("serve", flag.ContinueOnError)
 	addr := fs.String("addr", "127.0.0.1:8080", "listen address (host:port; port 0 picks a free one)")
+	instances := fs.String("instances", "", "instance manifest JSON declaring the instances to serve (excludes -in)")
 	benchmark := fs.String("benchmark", "tpch", "tpch or tpcds")
 	schemaPath := fs.String("schema", "", "schema DSL file (overrides -benchmark)")
 	in := fs.String("in", "", "database file to serve (empty = generate -benchmark at -sf)")
 	sf := fs.Float64("sf", 0.001, "scale factor when generating (no -in)")
 	seed := fs.Uint64("seed", 1, "generator PRNG seed when generating (no -in)")
+	memBudget := fs.String("synopsis-mem-budget", "0", "resident synopsis memory budget (e.g. 64MiB; 0 = unlimited)")
 	workers := fs.Int("workers", 0, "concurrent estimations (0 = GOMAXPROCS)")
 	queue := fs.Int("queue", 0, "admitted requests allowed to wait beyond -workers (0 = 2x workers)")
 	reqTimeout := fs.Duration("request-timeout", 30*time.Second, "per-request deadline when the client sends no timeout_ms")
@@ -68,9 +102,16 @@ func cmdServe(args []string) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	if *instances != "" && *in != "" {
+		return fmt.Errorf("-instances and -in are mutually exclusive (put the file in the manifest)")
+	}
 	windows, err := parseWindows(*sloWindows)
 	if err != nil {
 		return fmt.Errorf("-slo-windows: %w", err)
+	}
+	budget, err := parseBytes(*memBudget)
+	if err != nil {
+		return fmt.Errorf("-synopsis-mem-budget: %w", err)
 	}
 	logger, err := newLogger(*logFormat)
 	if err != nil {
@@ -81,47 +122,76 @@ func cmdServe(args []string) error {
 		return err
 	}
 
-	var db *relation.Database
-	var instance string
-	if *in != "" {
-		if db, err = loadDBWithSchema(*in, *benchmark, *schemaPath); err != nil {
-			return err
-		}
-		instance = fmt.Sprintf("file:%s", *in)
-	} else {
-		switch *benchmark {
-		case "tpch":
-			db, err = tpch.Generate(tpch.Config{ScaleFactor: *sf, Seed: *seed})
-		case "tpcds":
-			db, err = tpcds.Generate(tpcds.Config{ScaleFactor: *sf, Seed: *seed})
-		default:
-			return fmt.Errorf("unknown benchmark %q (want tpch or tpcds)", *benchmark)
-		}
+	cfg := server.Config{
+		SynopsisMemBudget: budget,
+		Workers:           *workers,
+		QueueDepth:        *queue,
+		DefaultTimeout:    *reqTimeout,
+		MaxTimeout:        *maxTimeout,
+		MaxBodyBytes:      *maxBody,
+		Cache:             cache,
+		Registry:          obs.Default(),
+		Logger:            logger,
+		RequestLogCap:     *reqlogCap,
+		SLOWindows:        windows,
+		EnablePprof:       *enablePprof,
+	}
+	if *instances != "" {
+		specs, err := scenario.LoadInstanceManifest(*instances)
 		if err != nil {
 			return err
 		}
-		instance = fmt.Sprintf("gen:%s:sf=%g:seed=%d", *benchmark, *sf, *seed)
+		for i := range specs {
+			spec := specs[i]
+			db, err := spec.Build()
+			if err != nil {
+				return err
+			}
+			logger.Info("serve: database ready", "instance", spec.Name,
+				"facts", db.NumFacts(), "consistent", relation.IsConsistentDB(db))
+			cfg.Instances = append(cfg.Instances, server.InstanceConfig{
+				Name:      spec.Name,
+				DB:        db,
+				KeyPrefix: spec.Fingerprint(),
+				Source:    "manifest",
+				Spec:      &spec,
+			})
+		}
+	} else {
+		var db *relation.Database
+		var fingerprint string
+		if *in != "" {
+			if db, err = loadDBWithSchema(*in, *benchmark, *schemaPath); err != nil {
+				return err
+			}
+			fingerprint = fmt.Sprintf("file:%s", *in)
+		} else {
+			switch *benchmark {
+			case "tpch":
+				db, err = tpch.Generate(tpch.Config{ScaleFactor: *sf, Seed: *seed})
+			case "tpcds":
+				db, err = tpcds.Generate(tpcds.Config{ScaleFactor: *sf, Seed: *seed})
+			default:
+				return fmt.Errorf("unknown benchmark %q (want tpch or tpcds)", *benchmark)
+			}
+			if err != nil {
+				return err
+			}
+			fingerprint = fmt.Sprintf("gen:%s:sf=%g:seed=%d", *benchmark, *sf, *seed)
+		}
+		logger.Info("serve: database ready", "instance", "default", "facts", db.NumFacts(),
+			"consistent", relation.IsConsistentDB(db))
+		cfg.Instances = append(cfg.Instances, server.InstanceConfig{
+			Name:      "default",
+			DB:        db,
+			KeyPrefix: fingerprint,
+			Source:    "flags",
+		})
 	}
-	logger.Info("serve: database ready", "instance", instance, "facts", db.NumFacts(),
-		"consistent", relation.IsConsistentDB(db))
 
 	man := manifest.Collect("cqabench serve", manifest.FlagConfig(fs))
-	srv, err := server.New(server.Config{
-		DB:             db,
-		Workers:        *workers,
-		QueueDepth:     *queue,
-		DefaultTimeout: *reqTimeout,
-		MaxTimeout:     *maxTimeout,
-		MaxBodyBytes:   *maxBody,
-		Cache:          cache,
-		CacheKeyPrefix: instance,
-		Registry:       obs.Default(),
-		Logger:         logger,
-		RequestLogCap:  *reqlogCap,
-		SLOWindows:     windows,
-		EnablePprof:    *enablePprof,
-		Manifest:       &man,
-	})
+	cfg.Manifest = &man
+	srv, err := server.New(cfg)
 	if err != nil {
 		return err
 	}

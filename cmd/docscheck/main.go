@@ -19,6 +19,13 @@
 //
 // Flags inside quoted strings (query literals and the like) are
 // ignored. `-ignore name1,name2` exempts specific flag names.
+//
+// With `-endpoints-dir internal/server,internal/obs`, docscheck
+// additionally verifies service endpoints: every /v1/... or /debug/...
+// path the docs mention — in inline code spans or in fenced-block URLs
+// — must match a route registered in the Go source of one of the named
+// directories (mux patterns like "POST /v1/estimate", with {name}
+// segments as wildcards and trailing-slash patterns as prefixes).
 package main
 
 import (
@@ -26,6 +33,7 @@ import (
 	"fmt"
 	"os"
 	"os/exec"
+	"path/filepath"
 	"regexp"
 	"slices"
 	"sort"
@@ -35,6 +43,7 @@ import (
 func main() {
 	bin := flag.String("bin", "", "path to the cqabench binary to interrogate")
 	ignore := flag.String("ignore", "", "comma-separated flag names to exempt")
+	endpointsDir := flag.String("endpoints-dir", "", "comma-separated Go source dirs whose registered HTTP routes documented endpoints must match")
 	flag.Parse()
 	if *bin == "" || flag.NArg() == 0 {
 		fmt.Fprintln(os.Stderr, "usage: docscheck -bin <cqabench> <doc.md>...")
@@ -59,12 +68,40 @@ func main() {
 		}
 	}
 
+	var routes []string
+	if *endpointsDir != "" {
+		for _, dir := range strings.Split(*endpointsDir, ",") {
+			dir = strings.TrimSpace(dir)
+			if dir == "" {
+				continue
+			}
+			rs, err := collectRoutes(dir)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "docscheck:", err)
+				os.Exit(1)
+			}
+			routes = append(routes, rs...)
+		}
+		if len(routes) == 0 {
+			fmt.Fprintf(os.Stderr, "docscheck: no HTTP routes found in %s\n", *endpointsDir)
+			os.Exit(1)
+		}
+	}
+
 	var problems []string
 	for _, path := range flag.Args() {
 		data, err := os.ReadFile(path)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "docscheck:", err)
 			os.Exit(1)
+		}
+		if *endpointsDir != "" {
+			for _, em := range scanDocEndpoints(string(data)) {
+				if !routeMatches(em.path, routes) {
+					problems = append(problems, fmt.Sprintf("%s:%d: documented endpoint %s is not registered in %s",
+						path, em.line, em.path, *endpointsDir))
+				}
+			}
 		}
 		for _, m := range scanDoc(string(data)) {
 			if ignored[m.flag] {
@@ -219,6 +256,133 @@ func scanInvocation(line string, n int) []mention {
 			if fm := flagToken.FindStringSubmatch(tok); fm != nil {
 				out = append(out, mention{line: n, flag: fm[1]})
 			}
+		}
+	}
+	return out
+}
+
+// Endpoint verification: routes are read straight out of the server
+// package's Go source — the Go 1.22 "METHOD /path" mux patterns plus
+// plain-path HandleFunc registrations (the pprof mounts) — and every
+// /v1/... or /debug/... path the docs mention must match one.
+
+var (
+	// "POST /v1/estimate" style method patterns, and bare-path
+	// Handle/HandleFunc("/debug/pprof/", ...) registrations.
+	methodRoute = regexp.MustCompile(`"(?:GET|POST|PUT|DELETE|PATCH) (/[^"\s]*)"`)
+	plainRoute  = regexp.MustCompile(`Handle(?:Func)?\("(/[^"]*)"`)
+)
+
+// collectRoutes scans the non-test Go files of dir for registered HTTP
+// route patterns.
+func collectRoutes(dir string) ([]string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	seen := map[string]bool{}
+	var routes []string
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		data, err := os.ReadFile(filepath.Join(dir, name))
+		if err != nil {
+			return nil, err
+		}
+		src := string(data)
+		for _, m := range methodRoute.FindAllStringSubmatch(src, -1) {
+			if !seen[m[1]] {
+				seen[m[1]] = true
+				routes = append(routes, m[1])
+			}
+		}
+		for _, m := range plainRoute.FindAllStringSubmatch(src, -1) {
+			if !seen[m[1]] {
+				seen[m[1]] = true
+				routes = append(routes, m[1])
+			}
+		}
+	}
+	sort.Strings(routes)
+	return routes, nil
+}
+
+// routeMatches reports whether a documented path matches any registered
+// route pattern: {name} segments match any single path segment, and a
+// pattern ending in "/" matches as a prefix (the pprof subtree).
+func routeMatches(path string, routes []string) bool {
+	for _, route := range routes {
+		if strings.HasSuffix(route, "/") {
+			if strings.HasPrefix(path, route) || path == strings.TrimSuffix(route, "/") {
+				return true
+			}
+			continue
+		}
+		if segmentsMatch(path, route) {
+			return true
+		}
+	}
+	return false
+}
+
+// segmentsMatch compares a concrete (or templated) doc path against a
+// route pattern segment by segment.
+func segmentsMatch(path, route string) bool {
+	ps := strings.Split(path, "/")
+	rs := strings.Split(route, "/")
+	if len(ps) != len(rs) {
+		return false
+	}
+	for i := range rs {
+		wild := strings.HasPrefix(rs[i], "{") && strings.HasSuffix(rs[i], "}")
+		if !wild && ps[i] != rs[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// endpointMention is one documented service path.
+type endpointMention struct {
+	line int
+	path string
+}
+
+var (
+	// Paths inside inline code spans, optionally preceded by a method.
+	inlineEndpoint = regexp.MustCompile("`(?:(?:GET|POST|PUT|DELETE|PATCH) )?(/(?:v1|debug)/[^`?#\"]*)")
+	// Path components of URLs in fenced blocks (curl walkthroughs).
+	urlEndpoint = regexp.MustCompile(`https?://[^/\s"']+(/(?:v1|debug)/[^\s"'?#]*)`)
+)
+
+// scanDocEndpoints extracts every /v1/... and /debug/... path a
+// markdown document mentions, from inline code spans outside fences and
+// URLs inside them.
+func scanDocEndpoints(doc string) []endpointMention {
+	var out []endpointMention
+	add := func(n int, p string) {
+		p = strings.TrimRight(p, "/.,;:") // prose punctuation, trailing slash
+		if p != "" {
+			out = append(out, endpointMention{line: n, path: p})
+		}
+	}
+	inFence := false
+	for i, line := range strings.Split(doc, "\n") {
+		n := i + 1
+		if strings.HasPrefix(strings.TrimSpace(line), "```") {
+			inFence = !inFence
+			continue
+		}
+		if inFence {
+			for _, m := range urlEndpoint.FindAllStringSubmatch(line, -1) {
+				add(n, m[1])
+			}
+			continue
+		}
+		for _, m := range inlineEndpoint.FindAllStringSubmatch(line, -1) {
+			add(n, strings.TrimSpace(m[1]))
 		}
 	}
 	return out

@@ -95,3 +95,70 @@ func TestScanDocQuotedFlagsIgnored(t *testing.T) {
 		t.Fatalf("scanDoc:\n got %+v\nwant %+v", got, want)
 	}
 }
+
+func TestScanDocEndpoints(t *testing.T) {
+	doc := "The service answers `POST /v1/estimate` and `GET /v1/instances`;\n" +
+		"delete with `DELETE /v1/instances/{name}`. Inspect via\n" +
+		"`/debug/requests?limit=5` (query strings are stripped).\n" +
+		"```sh\n" +
+		"curl -s http://localhost:8080/v1/instances | jq .\n" +
+		"curl http://localhost:8080/debug/vars\n" +
+		"```\n" +
+		"Plain prose mentioning /v1/estimate outside a span is ignored.\n"
+	got := scanDocEndpoints(doc)
+	want := []endpointMention{
+		{line: 1, path: "/v1/estimate"},
+		{line: 1, path: "/v1/instances"},
+		{line: 2, path: "/v1/instances/{name}"},
+		{line: 3, path: "/debug/requests"},
+		{line: 5, path: "/v1/instances"},
+		{line: 6, path: "/debug/vars"},
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("scanDocEndpoints:\n got %+v\nwant %+v", got, want)
+	}
+}
+
+func TestRouteMatches(t *testing.T) {
+	routes := []string{
+		"/v1/estimate",
+		"/v1/instances",
+		"/v1/instances/{name}",
+		"/debug/pprof/",
+	}
+	for _, ok := range []string{
+		"/v1/estimate",
+		"/v1/instances/tiny",
+		"/v1/instances/{name}", // docs quoting the pattern itself
+		"/debug/pprof/profile", // trailing-slash route matches as prefix
+		"/debug/pprof",
+	} {
+		if !routeMatches(ok, routes) {
+			t.Errorf("routeMatches(%q) = false, want true", ok)
+		}
+	}
+	for _, bad := range []string{
+		"/v1/estimates",
+		"/v1/instances/a/b", // {name} is a single segment
+		"/debug/requests",
+	} {
+		if routeMatches(bad, routes) {
+			t.Errorf("routeMatches(%q) = true, want false", bad)
+		}
+	}
+}
+
+func TestCollectRoutes(t *testing.T) {
+	routes, err := collectRoutes("../../internal/server")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"/v1/estimate", "/v1/instances", "/v1/instances/{name}",
+		"/metrics", "/debug/requests",
+	} {
+		if !routeMatches(want, routes) {
+			t.Errorf("route %q not collected from internal/server: %v", want, routes)
+		}
+	}
+}

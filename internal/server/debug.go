@@ -49,10 +49,11 @@ func (s *Server) handleMetricsJSON(w http.ResponseWriter, r *http.Request) {
 
 // handleDebugRequests lists recent request records. Query parameters:
 //
-//	n       max records (default 20, capped at the ring size)
-//	min_ms  keep only requests at least this slow (float, milliseconds)
-//	errors  "true"/"1": keep only failed or rejected requests
-//	sort    "recent" (default) or "slow" (slowest first)
+//	n         max records (default 20, capped at the ring size)
+//	min_ms    keep only requests at least this slow (float, milliseconds)
+//	errors    "true"/"1": keep only failed or rejected requests
+//	sort      "recent" (default) or "slow" (slowest first)
+//	instance  keep only requests that resolved to this instance
 func (s *Server) handleDebugRequests(w http.ResponseWriter, r *http.Request) {
 	q := r.URL.Query()
 	var query recentQuery
@@ -88,6 +89,7 @@ func (s *Server) handleDebugRequests(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "bad_request", `sort must be "recent" or "slow"`)
 		return
 	}
+	query.instance = q.Get("instance")
 	recs := s.reqlog.recent(query)
 	if recs == nil {
 		recs = []RequestRecord{} // an empty ring is [] on the wire, not null

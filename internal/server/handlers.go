@@ -15,10 +15,15 @@ import (
 	"cqabench/internal/estimator"
 	"cqabench/internal/obs"
 	"cqabench/internal/relation"
+	"cqabench/internal/scenario"
 )
 
 // EstimateRequest is the body of POST /v1/estimate.
 type EstimateRequest struct {
+	// Instance names the registered instance to estimate against. May be
+	// omitted only when the choice is unambiguous: exactly one instance
+	// is registered, or one is named "default".
+	Instance string `json:"instance,omitempty"`
 	// Query is the conjunctive query, in the library's text syntax.
 	Query string `json:"query"`
 	// Scheme names the approximation scheme (Natural, KL, KLM, Cover);
@@ -73,10 +78,14 @@ type EstimateStats struct {
 
 // EstimateResponse is the body of a successful POST /v1/estimate.
 type EstimateResponse struct {
+	Instance string        `json:"instance"`
 	Scheme   string        `json:"scheme"`
 	Answers  []Answer      `json:"answers"`
 	Stats    EstimateStats `json:"stats"`
-	Synopsis string        `json:"synopsis"` // "memo", "load" or "build"
+	Synopsis string        `json:"synopsis"` // "lru", "load" or "build"
+	// Coalesced marks a response served by an identical concurrent
+	// request's computation (single-flight); absent on leader responses.
+	Coalesced bool `json:"coalesced,omitempty"`
 	// Convergence holds per-tuple estimate trajectories when the request
 	// set "convergence": true; absent otherwise.
 	Convergence []cqa.TupleTrajectory `json:"convergence,omitempty"`
@@ -84,17 +93,40 @@ type EstimateResponse struct {
 
 // SynopsisRequest is the body of POST /v1/synopsis.
 type SynopsisRequest struct {
+	// Instance names the registered instance; same resolution rules as
+	// EstimateRequest.Instance.
+	Instance  string `json:"instance,omitempty"`
 	Query     string `json:"query"`
 	TimeoutMS int64  `json:"timeout_ms,omitempty"`
 }
 
 // SynopsisResponse summarizes a built synopsis set.
 type SynopsisResponse struct {
+	Instance        string  `json:"instance"`
 	Answers         int     `json:"answers"`
 	Balance         float64 `json:"balance"`
 	IndicatedScheme string  `json:"indicated_scheme"`
-	Source          string  `json:"source"` // "memo", "load" or "build"
+	Source          string  `json:"source"` // "lru", "load" or "build"
 	ElapsedMS       float64 `json:"elapsed_ms"`
+}
+
+// InstanceSummary is one entry of GET /v1/instances (and the body of a
+// successful POST /v1/instances).
+type InstanceSummary struct {
+	Name    string    `json:"name"`
+	Source  string    `json:"source"`
+	Created time.Time `json:"created"`
+	// Facts is the instance's database size in facts.
+	Facts int `json:"facts"`
+	// ResidentSynopses / ResidentBytes report this instance's share of
+	// the synopsis memory budget right now.
+	ResidentSynopses int   `json:"resident_synopses"`
+	ResidentBytes    int64 `json:"resident_bytes"`
+	// Estimates counts completed estimator runs against this instance
+	// (coalesced followers not included).
+	Estimates int64 `json:"estimates"`
+	// Spec echoes the build provenance for spec-built instances.
+	Spec *scenario.InstanceSpec `json:"spec,omitempty"`
 }
 
 // errorResponse is the body of every non-2xx response.
@@ -133,6 +165,9 @@ func (s *Server) routes() *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/estimate", s.instrument("/v1/estimate", s.handleEstimate))
 	mux.HandleFunc("POST /v1/synopsis", s.instrument("/v1/synopsis", s.handleSynopsis))
+	mux.HandleFunc("GET /v1/instances", s.instrument("/v1/instances", s.handleInstancesList))
+	mux.HandleFunc("POST /v1/instances", s.instrument("/v1/instances", s.handleInstanceRegister))
+	mux.HandleFunc("DELETE /v1/instances/{name}", s.instrument("/v1/instances/{name}", s.handleInstanceDelete))
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /version", s.handleVersion)
 	mux.HandleFunc("GET /debug/requests", s.handleDebugRequests)
@@ -170,8 +205,9 @@ func (r *statusRecorder) WriteHeader(code int) {
 // inbound X-Request-ID) echoed as X-Trace-ID and carried on the context,
 // a root span the admission path and handlers hang children off
 // (queue.wait, synopsis, estimate), the request counter and windowed
-// latency histogram, one structured access-log line, and a RequestRecord
-// in the /debug/requests ring.
+// latency histogram — both labeled by the instance the request resolved
+// to ("none" before resolution) — one structured access-log line, and a
+// RequestRecord in the /debug/requests ring.
 func (s *Server) instrument(endpoint string, h http.HandlerFunc) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
@@ -197,15 +233,21 @@ func (s *Server) instrument(endpoint string, h http.HandlerFunc) http.HandlerFun
 		st.rec.trace = span.Data()
 		s.reqlog.add(st.rec)
 
+		instance := st.rec.Instance
+		if instance == "" {
+			instance = noInstance
+		}
 		code := fmt.Sprintf("%d", rec.status)
 		s.reg.Counter("server_requests_total",
-			obs.L("endpoint", endpoint), obs.L("code", code)).Inc()
-		s.requestSeconds(endpoint).ObserveDuration(elapsed)
+			obs.L("endpoint", endpoint), obs.L("instance", instance), obs.L("code", code)).Inc()
+		s.requestSeconds(endpoint, instance).ObserveDuration(elapsed)
 		s.log.Info("server: request",
 			"trace_id", id,
 			"endpoint", endpoint,
+			"instance", instance,
 			"scheme", st.rec.Scheme,
 			"code", rec.status,
+			"coalesced", st.rec.Coalesced,
 			"queue_wait_ms", st.rec.QueueWaitMS,
 			"elapsed", elapsed,
 			"samples", st.rec.Samples,
@@ -233,6 +275,24 @@ func (s *Server) decode(w http.ResponseWriter, r *http.Request, v any) bool {
 		return false
 	}
 	return true
+}
+
+// resolveInstance maps a request's instance name to the registered
+// Instance, writing the 404/400 error response itself on failure.
+func (s *Server) resolveInstance(w http.ResponseWriter, st *reqState, name string) (*Instance, bool) {
+	in, err := s.instances.lookup(name)
+	if err != nil {
+		if errors.Is(err, ErrUnknownInstance) {
+			st.setReason("unknown_instance")
+			writeError(w, http.StatusNotFound, "unknown_instance", err.Error())
+		} else {
+			st.setReason("missing_instance")
+			writeError(w, http.StatusBadRequest, "missing_instance", err.Error())
+		}
+		return nil, false
+	}
+	st.setInstance(in.Name)
+	return in, true
 }
 
 // options assembles cqa.Options from a request, validating up front so
@@ -266,6 +326,15 @@ func (req *EstimateRequest) options() (cqa.Options, error) {
 	return opts, nil
 }
 
+// optionsFingerprint canonicalizes the resolved options (plus the
+// requested timeout) into the single-flight key component: two requests
+// coalesce only when every estimation-relevant knob agrees.
+func optionsFingerprint(opts cqa.Options, timeoutMS int64) string {
+	return fmt.Sprintf("eps=%g:delta=%g:seed=%d:max=%d:conv=%t:pts=%d:timeout=%d",
+		opts.Eps, opts.Delta, opts.Seed, opts.Budget.MaxSamples,
+		opts.Convergence.Enabled, opts.Convergence.MaxPoints, timeoutMS)
+}
+
 // writeRunError maps an estimation/build failure onto a status code and
 // records the code on the request's debug record.
 func writeRunError(w http.ResponseWriter, st *reqState, err error) {
@@ -275,7 +344,7 @@ func writeRunError(w http.ResponseWriter, st *reqState, err error) {
 		status, code = http.StatusBadRequest, "invalid_options"
 	case errors.Is(err, context.DeadlineExceeded):
 		status, code = http.StatusGatewayTimeout, "deadline"
-	case errors.Is(err, cqaerr.ErrCanceled):
+	case errors.Is(err, cqaerr.ErrCanceled), errors.Is(err, context.Canceled):
 		// The client went away; the status is moot but 499-style closure
 		// needs a code, and 504 is the closest standard one.
 		status, code = http.StatusGatewayTimeout, "canceled"
@@ -290,6 +359,10 @@ func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
 	st := reqStateFrom(r.Context())
 	var req EstimateRequest
 	if !s.decode(w, r, &req) {
+		return
+	}
+	in, ok := s.resolveInstance(w, st, req.Instance)
+	if !ok {
 		return
 	}
 	opts, err := req.options()
@@ -308,61 +381,123 @@ func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
 		}
 		st.setScheme(scheme.String())
 	}
+	q, err := parseQuery(req.Query, in.db)
+	if err != nil {
+		st.setReason("bad_query")
+		writeError(w, http.StatusBadRequest, "bad_query", err.Error())
+		return
+	}
+	rendered := q.Render(in.db.Dict)
 
 	ctx, cancel := s.requestContext(r, req.TimeoutMS)
 	defer cancel()
-	release, ok := s.admit(ctx, w)
-	if !ok {
+
+	// Coalesce identical in-flight computations: estimation is
+	// deterministic per (instance, query, scheme, options), so concurrent
+	// identical requests share one worker slot and one PRNG stream. The
+	// scheme key is the *requested* scheme — "auto" coalesces with "auto"
+	// (resolution happens once, in the leader) but never with an explicit
+	// scheme, even one auto would resolve to.
+	schemeKey := "auto"
+	if !auto {
+		schemeKey = scheme.String()
+	}
+	key := flightKey{
+		instance: in.Name,
+		query:    rendered,
+		scheme:   schemeKey,
+		options:  optionsFingerprint(opts, req.TimeoutMS),
+	}
+	res, shared := s.flights.do(ctx, key, func() *flightResult {
+		return s.runEstimate(ctx, in, q, rendered, auto, scheme, opts)
+	})
+	if shared {
+		s.reg.Counter("estimate_coalesced_total", obs.L("instance", in.Name)).Inc()
+		st.setCoalesced()
+	}
+	if res.err != nil {
+		switch res.stage {
+		case flightStageAdmit:
+			s.writeAdmitError(w, st, res.err)
+		case flightStageSynopsis:
+			if errors.Is(res.err, cqaerr.ErrCanceled) || errors.Is(res.err, context.Canceled) ||
+				errors.Is(res.err, context.DeadlineExceeded) {
+				writeRunError(w, st, res.err)
+			} else {
+				st.setReason("bad_query")
+				writeError(w, http.StatusBadRequest, "bad_query", res.err.Error())
+			}
+		default:
+			writeRunError(w, st, res.err)
+		}
 		return
 	}
+	st.setScheme(res.scheme.String())
+	st.setEstimate(res.stats.Samples, res.stats.GoodRatio)
+	st.setConvergence(res.stats.Convergence)
+	writeJSON(w, http.StatusOK, EstimateResponse{
+		Instance:    in.Name,
+		Scheme:      res.scheme.String(),
+		Answers:     renderAnswers(in.db, res.answers),
+		Synopsis:    res.source,
+		Coalesced:   shared,
+		Convergence: res.stats.Convergence,
+		Stats: EstimateStats{
+			TraceID:     st.traceID(),
+			Samples:     res.stats.Samples,
+			NumTuples:   res.stats.NumTuples,
+			GoodRatio:   res.stats.GoodRatio,
+			QueueWaitMS: st.queueWaitMS(),
+			PrepMS:      ms(res.prep),
+			ElapsedMS:   ms(res.stats.Elapsed),
+		},
+	})
+}
+
+// runEstimate is the single-flight leader body: admission, synopsis
+// residency, scheme resolution and the estimator run, all under the
+// leader's context. Every outcome — including an admission rejection,
+// which each coalesced caller would have hit identically — is returned
+// as a flightResult for the group to fan out.
+func (s *Server) runEstimate(ctx context.Context, in *Instance, q *cq.Query, rendered string, auto bool, scheme cqa.Scheme, opts cqa.Options) *flightResult {
+	release, err := s.acquire(ctx)
+	if err != nil {
+		return &flightResult{stage: flightStageAdmit, err: err}
+	}
 	defer release()
+	if s.onEstimateStart != nil {
+		s.onEstimateStart()
+	}
 
 	_, prepSpan := obs.StartSpan(ctx, "synopsis")
 	prepStart := time.Now()
-	set, source, err := s.synopsisFor(ctx, req.Query)
+	set, source, err := s.synopsisFor(ctx, in, q, rendered)
 	prepSpan.End()
 	if err != nil {
-		if errors.Is(err, cqaerr.ErrCanceled) || errors.Is(err, context.Canceled) ||
-			errors.Is(err, context.DeadlineExceeded) {
-			writeRunError(w, st, err)
-		} else {
-			st.setReason("bad_query")
-			writeError(w, http.StatusBadRequest, "bad_query", err.Error())
-		}
-		return
+		return &flightResult{stage: flightStageSynopsis, err: err}
 	}
 	prep := time.Since(prepStart)
 	if auto {
 		scheme = cqa.SelectScheme(set)
-		st.setScheme(scheme.String())
 	}
 
 	// The estimate child carries the cqa.<Scheme> span tree: the run
 	// attaches to the context's span via ApxAnswersFromSetTracedContext.
 	ectx, espan := obs.StartSpan(ctx, "estimate")
+	s.reg.Counter("server_estimate_runs_total", obs.L("instance", in.Name)).Inc()
 	res, stats, err := cqa.ApxAnswersFromSetContext(ectx, set, scheme, opts)
 	espan.End()
-	st.setEstimate(stats.Samples, stats.GoodRatio)
-	st.setConvergence(stats.Convergence)
 	if err != nil {
-		writeRunError(w, st, err)
-		return
+		return &flightResult{stage: flightStageEstimate, scheme: scheme, stats: stats, err: err}
 	}
-	writeJSON(w, http.StatusOK, EstimateResponse{
-		Scheme:      scheme.String(),
-		Answers:     renderAnswers(s.cfg.DB, res),
-		Synopsis:    source,
-		Convergence: stats.Convergence,
-		Stats: EstimateStats{
-			TraceID:     st.traceID(),
-			Samples:     stats.Samples,
-			NumTuples:   stats.NumTuples,
-			GoodRatio:   stats.GoodRatio,
-			QueueWaitMS: st.queueWaitMS(),
-			PrepMS:      ms(prep),
-			ElapsedMS:   ms(stats.Elapsed),
-		},
-	})
+	in.estimates.Add(1)
+	return &flightResult{
+		scheme:  scheme,
+		answers: res,
+		stats:   stats,
+		source:  source,
+		prep:    prep,
+	}
 }
 
 func (s *Server) handleSynopsis(w http.ResponseWriter, r *http.Request) {
@@ -371,17 +506,28 @@ func (s *Server) handleSynopsis(w http.ResponseWriter, r *http.Request) {
 	if !s.decode(w, r, &req) {
 		return
 	}
+	in, ok := s.resolveInstance(w, st, req.Instance)
+	if !ok {
+		return
+	}
+	q, err := parseQuery(req.Query, in.db)
+	if err != nil {
+		st.setReason("bad_query")
+		writeError(w, http.StatusBadRequest, "bad_query", err.Error())
+		return
+	}
 	ctx, cancel := s.requestContext(r, req.TimeoutMS)
 	defer cancel()
-	release, ok := s.admit(ctx, w)
-	if !ok {
+	release, err := s.acquire(ctx)
+	if err != nil {
+		s.writeAdmitError(w, st, err)
 		return
 	}
 	defer release()
 
 	_, prepSpan := obs.StartSpan(ctx, "synopsis")
 	start := time.Now()
-	set, source, err := s.synopsisFor(ctx, req.Query)
+	set, source, err := s.synopsisFor(ctx, in, q, q.Render(in.db.Dict))
 	prepSpan.End()
 	if err != nil {
 		if errors.Is(err, cqaerr.ErrCanceled) || errors.Is(err, context.Canceled) ||
@@ -394,11 +540,107 @@ func (s *Server) handleSynopsis(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, SynopsisResponse{
+		Instance:        in.Name,
 		Answers:         set.OutputSize(),
 		Balance:         set.Balance(),
 		IndicatedScheme: cqa.SelectScheme(set).String(),
 		Source:          source,
 		ElapsedMS:       float64(time.Since(start).Microseconds()) / 1e3,
+	})
+}
+
+// summarize builds the wire form of one instance.
+func (s *Server) summarize(in *Instance) InstanceSummary {
+	entries, bytes := s.lru.residentFor(in.Name)
+	return InstanceSummary{
+		Name:             in.Name,
+		Source:           in.Source,
+		Created:          in.Created,
+		Facts:            in.db.NumFacts(),
+		ResidentSynopses: entries,
+		ResidentBytes:    bytes,
+		Estimates:        in.estimates.Load(),
+		Spec:             in.spec,
+	}
+}
+
+// handleInstancesList serves GET /v1/instances: every registered
+// instance with its residency and usage counters, sorted by name.
+func (s *Server) handleInstancesList(w http.ResponseWriter, r *http.Request) {
+	ins := s.instances.list()
+	out := make([]InstanceSummary, len(ins))
+	for i, in := range ins {
+		out[i] = s.summarize(in)
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"count":     len(out),
+		"instances": out,
+	})
+}
+
+// handleInstanceRegister serves POST /v1/instances: the body is a
+// scenario.InstanceSpec; the database is built (generated or loaded,
+// optionally noised) and registered under the spec's name. The name is
+// reserved before the build, so a concurrent duplicate registration
+// gets an immediate 409 instead of racing a second build.
+func (s *Server) handleInstanceRegister(w http.ResponseWriter, r *http.Request) {
+	st := reqStateFrom(r.Context())
+	var spec scenario.InstanceSpec
+	if !s.decode(w, r, &spec) {
+		return
+	}
+	st.setInstance(spec.Name)
+	if err := spec.Validate(); err != nil {
+		st.setReason("bad_instance")
+		writeError(w, http.StatusBadRequest, "bad_instance", err.Error())
+		return
+	}
+	if err := s.instances.reserve(spec.Name); err != nil {
+		st.setReason("instance_exists")
+		writeError(w, http.StatusConflict, "instance_exists", err.Error())
+		return
+	}
+	db, err := spec.Build()
+	if err != nil {
+		s.instances.release(spec.Name)
+		st.setReason("bad_instance")
+		writeError(w, http.StatusBadRequest, "bad_instance", err.Error())
+		return
+	}
+	in := &Instance{
+		Name:        spec.Name,
+		Source:      "api",
+		Created:     time.Now(),
+		Fingerprint: spec.Fingerprint(),
+		db:          db,
+		spec:        &spec,
+	}
+	s.instances.commit(in)
+	s.instanceSeries(in)
+	s.log.Info("server: instance registered",
+		"instance", in.Name, "source", in.Source, "facts", db.NumFacts())
+	writeJSON(w, http.StatusCreated, s.summarize(in))
+}
+
+// handleInstanceDelete serves DELETE /v1/instances/{name}: the instance
+// is unregistered and its resident synopses leave the LRU immediately
+// (its on-disk syncache entries stay — they are content-addressed and
+// shared with identically-built instances).
+func (s *Server) handleInstanceDelete(w http.ResponseWriter, r *http.Request) {
+	st := reqStateFrom(r.Context())
+	name := r.PathValue("name")
+	st.setInstance(name)
+	in, err := s.instances.remove(name)
+	if err != nil {
+		st.setReason("unknown_instance")
+		writeError(w, http.StatusNotFound, "unknown_instance", err.Error())
+		return
+	}
+	s.lru.dropInstance(in.Name)
+	s.log.Info("server: instance deleted", "instance", in.Name)
+	writeJSON(w, http.StatusOK, map[string]any{
+		"deleted":   in.Name,
+		"estimates": in.estimates.Load(),
 	})
 }
 
@@ -410,9 +652,10 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		state = "draining"
 	}
 	writeJSON(w, status, map[string]any{
-		"status":   state,
-		"inflight": s.inflight.Load(),
-		"workers":  s.workers,
+		"status":    state,
+		"inflight":  s.inflight.Load(),
+		"workers":   s.workers,
+		"instances": len(s.instances.names()),
 	})
 }
 

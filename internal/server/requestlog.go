@@ -31,9 +31,15 @@ type StageMS struct {
 // RequestRecord is one completed (or rejected) request as kept in the
 // debug ring and returned by /debug/requests.
 type RequestRecord struct {
-	TraceID     string    `json:"trace_id"`
-	Endpoint    string    `json:"endpoint"`
-	Scheme      string    `json:"scheme,omitempty"`
+	TraceID  string `json:"trace_id"`
+	Endpoint string `json:"endpoint"`
+	// Instance is the registered instance the request resolved to (or
+	// targeted, for registry mutations); "" before resolution.
+	Instance string `json:"instance,omitempty"`
+	Scheme   string `json:"scheme,omitempty"`
+	// Coalesced marks an estimate served by an identical concurrent
+	// request's computation (single-flight follower).
+	Coalesced   bool      `json:"coalesced,omitempty"`
 	Status      int       `json:"status"`
 	Start       time.Time `json:"start"`
 	QueueWaitMS float64   `json:"queue_wait_ms"`
@@ -85,6 +91,7 @@ type recentQuery struct {
 	minLatency time.Duration // keep records at least this slow
 	errorsOnly bool          // keep only non-2xx / rejected records
 	bySlowest  bool          // order by latency instead of recency
+	instance   string        // keep only records of this instance ("" = all)
 }
 
 // recent returns up to q.n matching records, most recent first (or
@@ -103,6 +110,9 @@ func (l *requestLog) recent(q recentQuery) []RequestRecord {
 			continue
 		}
 		if q.errorsOnly && rec.Status < 400 && rec.Reason == "" {
+			continue
+		}
+		if q.instance != "" && rec.Instance != q.instance {
 			continue
 		}
 		all = append(all, rec)
@@ -161,6 +171,22 @@ func (st *reqState) setReason(code string) {
 		return
 	}
 	st.rec.Reason = code
+}
+
+// setInstance records the instance the request resolved to; nil-safe.
+func (st *reqState) setInstance(name string) {
+	if st == nil {
+		return
+	}
+	st.rec.Instance = name
+}
+
+// setCoalesced marks the request a single-flight follower; nil-safe.
+func (st *reqState) setCoalesced() {
+	if st == nil {
+		return
+	}
+	st.rec.Coalesced = true
 }
 
 // setScheme records the scheme the request resolved to; nil-safe.

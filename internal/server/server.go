@@ -1,16 +1,33 @@
 // Package server exposes the approximation pipeline as a long-running
-// HTTP service: POST /v1/estimate runs one ApxCQA[scheme] call against a
-// database fixed at startup, POST /v1/synopsis inspects the preprocessing
-// step, and /healthz and /metrics report liveness and the obs registry.
+// multi-instance HTTP service. An instance registry maps names to
+// (possibly inconsistent) database instances — populated at startup
+// from Config.Instances (the `-instances` manifest) and at runtime via
+// POST/GET/DELETE /v1/instances — and every estimation request
+// addresses one instance: POST /v1/estimate runs one ApxCQA[scheme]
+// call, POST /v1/synopsis inspects the preprocessing step, and
+// /healthz, /version and /metrics report liveness, provenance and the
+// obs registry.
 //
 // The service is built around the context-first API: every request gets
 // a deadline-bound context.Context that flows into the estimators, so a
-// client disconnect or a request timeout aborts the sampling loops within
-// about one 256-draw chunk. Concurrency is bounded by a worker pool with
-// admission control — when Workers requests are running and QueueDepth
-// more are waiting, further requests are refused immediately with 429
-// rather than queueing without bound; during graceful shutdown, in-flight
-// requests drain while new ones are refused with 503.
+// client disconnect or a request timeout aborts the sampling loops
+// within about one 256-draw chunk. Concurrency is bounded by a worker
+// pool with admission control — when Workers requests are running and
+// QueueDepth more are waiting, further requests are refused immediately
+// with 429 rather than queueing without bound; during graceful
+// shutdown, in-flight requests drain while new ones are refused with
+// 503.
+//
+// Two mechanisms keep the multi-instance service within its means.
+// Resident synopses live under one LRU byte budget
+// (Config.SynopsisMemBudget), each charged its canonical encoded
+// length (syncache.EncodedSize); cold synopses are evicted and
+// transparently reloaded from the on-disk syncache — or rebuilt — on
+// their next request. And identical in-flight estimate requests are
+// coalesced single-flight on (instance, rendered query, scheme,
+// options fingerprint): a thundering herd shares one worker slot, one
+// PRNG stream and one result, with followers counted in
+// estimate_coalesced_total.
 package server
 
 import (
@@ -22,23 +39,62 @@ import (
 	"net"
 	"net/http"
 	"runtime"
-	"sync"
 	"sync/atomic"
 	"time"
 
+	"cqabench/internal/cq"
 	"cqabench/internal/obs"
 	"cqabench/internal/obs/manifest"
 	"cqabench/internal/relation"
+	"cqabench/internal/scenario"
 	"cqabench/internal/syncache"
 	"cqabench/internal/synopsis"
 )
 
-// Config parameterizes a Server. The zero value of every field selects a
-// sensible default; only DB is required.
-type Config struct {
-	// DB is the (possibly inconsistent) database instance the service
-	// answers queries against. Required.
+// InstanceConfig is one instance registered at server construction.
+type InstanceConfig struct {
+	// Name addresses the instance in requests; must satisfy
+	// scenario.ValidInstanceName.
+	Name string
+	// DB is the instance's database. Required.
 	DB *relation.Database
+	// KeyPrefix fingerprints the instance contents for syncache keys
+	// (the server cannot derive one itself); empty disables on-disk
+	// synopsis persistence for this instance.
+	KeyPrefix string
+	// Source records how the instance arrived ("manifest", "flags",
+	// ...); empty selects "config". Informational — it appears in
+	// GET /v1/instances.
+	Source string
+	// Spec, when the instance was built from a scenario.InstanceSpec,
+	// carries the build provenance into the instance listing.
+	Spec *scenario.InstanceSpec
+}
+
+// Config parameterizes a Server. The zero value of every field selects
+// a sensible default; a server may start with no instances at all and
+// acquire them through POST /v1/instances.
+type Config struct {
+	// DB, when set, is registered as the instance named "default" —
+	// the single-instance convenience path. Instances and runtime
+	// registration add more.
+	DB *relation.Database
+
+	// CacheKeyPrefix fingerprints DB for syncache keys (see
+	// InstanceConfig.KeyPrefix); it applies to the "default" instance
+	// only.
+	CacheKeyPrefix string
+
+	// Instances are registered, in order, at construction.
+	Instances []InstanceConfig
+
+	// SynopsisMemBudget bounds the total bytes of resident synopses
+	// across all instances, measured as syncache.EncodedSize — the
+	// canonical .syn byte length. When the budget is exceeded the
+	// least-recently-used synopses are evicted and reloaded from the
+	// Cache (or rebuilt) on their next request. <= 0 disables
+	// eviction.
+	SynopsisMemBudget int64
 
 	// Workers bounds the number of concurrently running estimations.
 	// <= 0 selects GOMAXPROCS.
@@ -61,11 +117,9 @@ type Config struct {
 	MaxBodyBytes int64
 
 	// Cache, when non-nil and enabled, persists built synopses through
-	// the content-addressed syncache store in addition to the in-memory
-	// memo. CacheKeyPrefix must then fingerprint the database instance
-	// (the server cannot derive one itself); it is mixed into every key.
-	Cache          *syncache.Cache
-	CacheKeyPrefix string
+	// the content-addressed syncache store in addition to the resident
+	// LRU — it is also what evicted synopses reload from.
+	Cache *syncache.Cache
 
 	// Registry receives the service metrics; nil selects a fresh one.
 	Registry *obs.Registry
@@ -109,6 +163,18 @@ type Server struct {
 	inflight atomic.Int64
 	draining atomic.Bool
 
+	// instances is the name -> database registry; lru governs resident
+	// synopsis memory across all instances; flights coalesces identical
+	// in-flight estimates.
+	instances *instanceRegistry
+	lru       *synopsisLRU
+	flights   *flightGroup
+
+	// onEstimateStart, when non-nil, runs on the leader's goroutine
+	// after its flight is registered and admitted, before the estimator
+	// starts. Test-only hook for deterministic coalescing tests.
+	onEstimateStart func()
+
 	// reqlog is the bounded ring behind /debug/requests; windows
 	// parameterize the rolling latency quantiles; manifest backs
 	// /version and the provenance envelopes; started anchors
@@ -120,20 +186,15 @@ type Server struct {
 
 	httpSrv *http.Server
 	ln      net.Listener
-
-	// memo caches built synopses for the server's lifetime, keyed by the
-	// query's canonical rendering (the DB is fixed, so the text is a
-	// sufficient key). Builds happen outside the lock; a canceled build
-	// is not stored, so the next request retries it.
-	memoMu sync.Mutex
-	memo   map[string]*synopsis.Set
 }
+
+// instrumentedEndpoints are the endpoints carrying the full
+// per-request observability substrate (windowed latency series are
+// registered eagerly per instance for the first two).
+var estimationEndpoints = []string{"/v1/estimate", "/v1/synopsis"}
 
 // New validates cfg and assembles a Server without binding a socket.
 func New(cfg Config) (*Server, error) {
-	if cfg.DB == nil {
-		return nil, errors.New("server: Config.DB is required")
-	}
 	workers := cfg.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -177,23 +238,56 @@ func New(cfg Config) (*Server, error) {
 		m = &collected
 	}
 	s := &Server{
-		cfg:      cfg,
-		reg:      reg,
-		log:      logger,
-		workers:  workers,
-		depth:    depth,
-		sem:      make(chan struct{}, workers),
-		memo:     make(map[string]*synopsis.Set),
-		reqlog:   newRequestLog(cfg.RequestLogCap),
-		windows:  windows,
-		manifest: m,
-		started:  time.Now(),
+		cfg:       cfg,
+		reg:       reg,
+		log:       logger,
+		workers:   workers,
+		depth:     depth,
+		sem:       make(chan struct{}, workers),
+		instances: newInstanceRegistry(reg),
+		lru:       newSynopsisLRU(cfg.SynopsisMemBudget, reg),
+		flights:   newFlightGroup(),
+		reqlog:    newRequestLog(cfg.RequestLogCap),
+		windows:   windows,
+		manifest:  m,
+		started:   time.Now(),
 	}
-	// Register the windowed latency series eagerly so /metrics exposes
-	// them (at zero) from the first scrape, before any traffic.
-	for _, ep := range []string{"/v1/estimate", "/v1/synopsis"} {
-		s.requestSeconds(ep)
-		s.queueWaitSeconds(ep)
+	if cfg.DB != nil {
+		if err := s.registerInstance(&Instance{
+			Name:        "default",
+			Source:      "config",
+			Created:     time.Now(),
+			Fingerprint: cfg.CacheKeyPrefix,
+			db:          cfg.DB,
+		}); err != nil {
+			return nil, err
+		}
+	}
+	for _, ic := range cfg.Instances {
+		if ic.DB == nil {
+			return nil, fmt.Errorf("server: instance %q has no database", ic.Name)
+		}
+		source := ic.Source
+		if source == "" {
+			source = "config"
+		}
+		if err := s.registerInstance(&Instance{
+			Name:        ic.Name,
+			Source:      source,
+			Created:     time.Now(),
+			Fingerprint: ic.KeyPrefix,
+			db:          ic.DB,
+			spec:        ic.Spec,
+		}); err != nil {
+			return nil, err
+		}
+	}
+	// Register the instance-less windowed latency series eagerly so
+	// /metrics exposes them (at zero) from the first scrape; the
+	// per-instance variants are registered as instances arrive.
+	for _, ep := range estimationEndpoints {
+		s.requestSeconds(ep, noInstance)
+		s.queueWaitSeconds(ep, noInstance)
 	}
 	// server_build_info is the Prometheus build-info idiom: a constant 1
 	// whose labels carry the identity, so dashboards can join on it and
@@ -212,20 +306,55 @@ func New(cfg Config) (*Server, error) {
 	return s, nil
 }
 
+// noInstance is the instance label of requests that never resolved an
+// instance (rejected before routing, or unknown names).
+const noInstance = "none"
+
+// registerInstance adds in to the registry and eagerly registers its
+// per-instance windowed latency series.
+func (s *Server) registerInstance(in *Instance) error {
+	if err := s.instances.add(in); err != nil {
+		return err
+	}
+	s.instanceSeries(in)
+	s.log.Info("server: instance registered",
+		"instance", in.Name, "source", in.Source, "facts", in.db.NumFacts())
+	return nil
+}
+
+// instanceSeries eagerly registers the per-instance windowed latency
+// series so /metrics exposes them (at zero) from the moment the
+// instance exists, not its first request.
+func (s *Server) instanceSeries(in *Instance) {
+	for _, ep := range estimationEndpoints {
+		s.requestSeconds(ep, in.Name)
+		s.queueWaitSeconds(ep, in.Name)
+	}
+}
+
 // requestSeconds returns the windowed end-to-end latency histogram for
-// an endpoint.
-func (s *Server) requestSeconds(endpoint string) *obs.WindowedHistogram {
-	return s.reg.WindowedHistogram("server_request_seconds", s.windows, obs.L("endpoint", endpoint))
+// an (endpoint, instance) pair.
+func (s *Server) requestSeconds(endpoint, instance string) *obs.WindowedHistogram {
+	return s.reg.WindowedHistogram("server_request_seconds", s.windows,
+		obs.L("endpoint", endpoint), obs.L("instance", instance))
 }
 
 // queueWaitSeconds returns the windowed admission-queue wait histogram
-// for an endpoint.
-func (s *Server) queueWaitSeconds(endpoint string) *obs.WindowedHistogram {
-	return s.reg.WindowedHistogram("server_queue_wait_seconds", s.windows, obs.L("endpoint", endpoint))
+// for an (endpoint, instance) pair.
+func (s *Server) queueWaitSeconds(endpoint, instance string) *obs.WindowedHistogram {
+	return s.reg.WindowedHistogram("server_queue_wait_seconds", s.windows,
+		obs.L("endpoint", endpoint), obs.L("instance", instance))
 }
 
 // Registry returns the metrics registry the server reports into.
 func (s *Server) Registry() *obs.Registry { return s.reg }
+
+// Instances returns the registered instances, sorted by name.
+func (s *Server) Instances() []*Instance { return s.instances.list() }
+
+// ResidentSynopsisBytes reports the bytes currently charged against the
+// synopsis memory budget. Exposed for tests and capacity checks.
+func (s *Server) ResidentSynopsisBytes() int64 { return s.lru.residentBytes() }
 
 // refreshUptime recomputes server_uptime_seconds; the metrics handlers
 // call it per scrape so the gauge is current without a ticker goroutine.
@@ -248,7 +377,8 @@ func (s *Server) Start(addr string) (string, error) {
 		}
 	}()
 	s.log.Info("server: listening", "addr", ln.Addr().String(),
-		"workers", s.workers, "queue_depth", s.depth)
+		"workers", s.workers, "queue_depth", s.depth,
+		"instances", s.instances.names())
 	return ln.Addr().String(), nil
 }
 
@@ -265,26 +395,32 @@ func (s *Server) Shutdown(ctx context.Context) error {
 // slot. Exposed for tests and the drain log line.
 func (s *Server) Inflight() int64 { return s.inflight.Load() }
 
-// admit applies the admission policy: refuse while draining (503),
+// Admission errors, produced by acquire and mapped onto HTTP statuses
+// by writeAdmitError. Sentinels so single-flight followers can share
+// the leader's admission outcome.
+var (
+	errDraining  = errors.New("server is shutting down")
+	errQueueFull = errors.New("admission queue full")
+)
+
+// acquire applies the admission policy: refuse while draining (503),
 // refuse when workers+depth requests are already admitted (429), then
-// wait for a worker slot, giving up if ctx expires first (504). On
-// success the caller must call the returned release exactly once.
+// wait for a worker slot, giving up if ctx expires first (504). On nil
+// error the caller must call release exactly once.
 //
 // The wait for a slot is attributed to a queue.wait child of the
 // request's span and observed in server_queue_wait_seconds, so queue
 // time is separable from estimation time both per request and in the
 // aggregate quantiles.
-func (s *Server) admit(ctx context.Context, w http.ResponseWriter) (release func(), ok bool) {
+func (s *Server) acquire(ctx context.Context) (release func(), err error) {
 	st := reqStateFrom(ctx)
 	if s.draining.Load() {
-		s.reject(w, st, http.StatusServiceUnavailable, "draining", "server is shutting down")
-		return nil, false
+		return nil, errDraining
 	}
 	if n := s.admitted.Add(1); n > int64(s.workers+s.depth) {
 		s.admitted.Add(-1)
-		s.reject(w, st, http.StatusTooManyRequests, "queue_full",
-			fmt.Sprintf("%d requests already admitted (workers=%d queue=%d)", n-1, s.workers, s.depth))
-		return nil, false
+		return nil, fmt.Errorf("%w: %d requests already admitted (workers=%d queue=%d)",
+			errQueueFull, n-1, s.workers, s.depth)
 	}
 	s.gauges()
 	qspan := obs.FromContext(ctx).StartChild("queue.wait")
@@ -293,11 +429,14 @@ func (s *Server) admit(ctx context.Context, w http.ResponseWriter) (release func
 		qspan.End()
 		wait := time.Since(waitStart)
 		st.setQueueWait(wait)
-		endpoint := "unknown"
+		endpoint, instance := "unknown", noInstance
 		if st != nil {
 			endpoint = st.rec.Endpoint
+			if st.rec.Instance != "" {
+				instance = st.rec.Instance
+			}
 		}
-		s.queueWaitSeconds(endpoint).ObserveDuration(wait)
+		s.queueWaitSeconds(endpoint, instance).ObserveDuration(wait)
 	}
 	select {
 	case s.sem <- struct{}{}:
@@ -306,8 +445,7 @@ func (s *Server) admit(ctx context.Context, w http.ResponseWriter) (release func
 		recordWait()
 		s.admitted.Add(-1)
 		s.gauges()
-		s.reject(w, st, http.StatusGatewayTimeout, "deadline", "request expired while queued")
-		return nil, false
+		return nil, fmt.Errorf("request expired while queued: %w", ctx.Err())
 	}
 	s.inflight.Add(1)
 	s.gauges()
@@ -316,7 +454,7 @@ func (s *Server) admit(ctx context.Context, w http.ResponseWriter) (release func
 		s.inflight.Add(-1)
 		s.admitted.Add(-1)
 		s.gauges()
-	}, true
+	}, nil
 }
 
 // gauges refreshes the queue-depth and inflight gauges. The two loads
@@ -329,6 +467,20 @@ func (s *Server) gauges() {
 	}
 	s.reg.Gauge("server_inflight").Set(float64(running))
 	s.reg.Gauge("server_queue_depth").Set(float64(waiting))
+}
+
+// writeAdmitError maps an acquire failure onto the admission error
+// model (503 draining, 429 queue_full, 504 deadline), counts it, and
+// records the reason on the request's debug record (st may be nil).
+func (s *Server) writeAdmitError(w http.ResponseWriter, st *reqState, err error) {
+	status, reason := http.StatusGatewayTimeout, "deadline"
+	switch {
+	case errors.Is(err, errDraining):
+		status, reason = http.StatusServiceUnavailable, "draining"
+	case errors.Is(err, errQueueFull):
+		status, reason = http.StatusTooManyRequests, "queue_full"
+	}
+	s.reject(w, st, status, reason, err.Error())
 }
 
 // reject writes an admission failure, counts it, and records the reason
@@ -356,46 +508,36 @@ func (s *Server) requestContext(r *http.Request, timeoutMS int64) (context.Conte
 	return context.WithTimeout(r.Context(), d)
 }
 
-// synopsisFor parses the query text and returns its synopsis, memoized
-// for the server's lifetime. source is "memo", "load" (syncache hit) or
-// "build".
-func (s *Server) synopsisFor(ctx context.Context, text string) (*synopsis.Set, string, error) {
-	q, err := parseQuery(text, s.cfg.DB)
-	if err != nil {
-		return nil, "", err
-	}
-	key := q.Render(s.cfg.DB.Dict)
-	s.memoMu.Lock()
-	set, hit := s.memo[key]
-	s.memoMu.Unlock()
-	if hit {
-		return set, "memo", nil
+// synopsisFor returns the synopsis of the already-parsed query q
+// (canonically rendered as key) against instance in. source is "lru"
+// (resident), "load" (reloaded from syncache) or "build" (computed
+// now). The result is made resident in the LRU, which may evict colder
+// synopses to stay under the memory budget.
+func (s *Server) synopsisFor(ctx context.Context, in *Instance, q *cq.Query, key string) (*synopsis.Set, string, error) {
+	lk := lruKey{instance: in.Name, query: key}
+	if set, ok := s.lru.get(lk); ok {
+		return set, "lru", nil
 	}
 	source := "build"
-	if s.cfg.Cache != nil && s.cfg.Cache.Enabled() {
+	var set *synopsis.Set
+	var err error
+	if s.cfg.Cache != nil && s.cfg.Cache.Enabled() && in.Fingerprint != "" {
 		var src syncache.Source
 		set, src, err = s.cfg.Cache.Resolve(
-			syncache.Key("serve", s.cfg.CacheKeyPrefix, key),
-			func() (*synopsis.Set, error) { return synopsis.BuildContext(ctx, s.cfg.DB, q) },
+			syncache.Key("serve", in.Fingerprint, key),
+			func() (*synopsis.Set, error) { return synopsis.BuildContext(ctx, in.db, q) },
 		)
 		if src == syncache.SourceLoad {
 			source = "load"
 		}
 	} else {
-		set, err = synopsis.BuildContext(ctx, s.cfg.DB, q)
+		set, err = synopsis.BuildContext(ctx, in.db, q)
 	}
 	if err != nil {
 		return nil, "", err
 	}
-	s.memoMu.Lock()
-	// A concurrent build of the same query may have won; keep the first
-	// stored set so every later request shares one synopsis.
-	if prev, ok := s.memo[key]; ok {
-		set = prev
-		source = "memo"
-	} else {
-		s.memo[key] = set
-	}
-	s.memoMu.Unlock()
+	// A concurrent build of the same key may have won the LRU slot; put
+	// returns the first stored set so every request shares one synopsis.
+	set = s.lru.put(lk, set, int64(syncache.EncodedSize(set)))
 	return set, source, nil
 }

@@ -137,14 +137,17 @@ func TestEstimateResponseShape(t *testing.T) {
 	if resp.Synopsis != "build" {
 		t.Fatalf("first request synopsis source = %q, want build", resp.Synopsis)
 	}
-	// Same query again: the synopsis must come from the in-memory memo.
+	// Same query again: the synopsis must be resident in the LRU.
 	_, body, _ = post(t, ts.URL+"/v1/estimate",
 		`{"query": "Q() :- Employee(1, n1, d), Employee(2, n2, d)", "scheme": "Natural"}`)
 	if err := json.Unmarshal([]byte(body), &resp); err != nil {
 		t.Fatal(err)
 	}
-	if resp.Synopsis != "memo" {
-		t.Fatalf("repeat request synopsis source = %q, want memo", resp.Synopsis)
+	if resp.Synopsis != "lru" {
+		t.Fatalf("repeat request synopsis source = %q, want lru", resp.Synopsis)
+	}
+	if resp.Instance != "default" {
+		t.Fatalf("instance = %q, want default", resp.Instance)
 	}
 }
 
@@ -193,8 +196,8 @@ func TestSynopsisEndpoint(t *testing.T) {
 	if err := json.Unmarshal([]byte(body), &resp); err != nil {
 		t.Fatal(err)
 	}
-	if resp.Source != "memo" {
-		t.Fatalf("repeat source = %q, want memo", resp.Source)
+	if resp.Source != "lru" {
+		t.Fatalf("repeat source = %q, want lru", resp.Source)
 	}
 }
 
@@ -325,7 +328,9 @@ func TestQueueFullRejectsWith429(t *testing.T) {
 	defer cancel()
 	first := heavyPost(ts, ts.Client(), ctx, 600_000)
 	waitInflight(t, s, 1)
-	second := heavyPost(ts, ts.Client(), ctx, 600_000)
+	// A distinct timeout keeps the second request out of the first's
+	// single-flight key, so it really occupies the queue slot.
+	second := heavyPost(ts, ts.Client(), ctx, 600_001)
 	// Wait for the second request to occupy the queue slot.
 	deadline := time.Now().Add(5 * time.Second)
 	for s.admitted.Load() != 2 {
@@ -451,10 +456,28 @@ func TestGracefulShutdownDrains(t *testing.T) {
 }
 
 func TestNewValidatesConfig(t *testing.T) {
-	if _, err := New(Config{}); err == nil {
-		t.Fatal("nil DB accepted")
+	// A server with no instances is valid: it serves the registry API and
+	// acquires instances at runtime.
+	s, err := New(Config{})
+	if err != nil {
+		t.Fatalf("zero-instance config rejected: %v", err)
+	}
+	if got := len(s.Instances()); got != 0 {
+		t.Fatalf("instances = %d, want 0", got)
 	}
 	if _, err := New(Config{DB: smallDB(t), DefaultTimeout: time.Hour, MaxTimeout: time.Second}); err == nil {
 		t.Fatal("default timeout above max accepted")
+	}
+	if _, err := New(Config{Instances: []InstanceConfig{{Name: "a"}}}); err == nil {
+		t.Fatal("instance without database accepted")
+	}
+	if _, err := New(Config{
+		DB:        smallDB(t),
+		Instances: []InstanceConfig{{Name: "default", DB: smallDB(t)}},
+	}); err == nil {
+		t.Fatal("duplicate instance name accepted")
+	}
+	if _, err := New(Config{Instances: []InstanceConfig{{Name: "bad name!", DB: smallDB(t)}}}); err == nil {
+		t.Fatal("invalid instance name accepted")
 	}
 }

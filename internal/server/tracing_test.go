@@ -263,7 +263,8 @@ func TestWindowedLatencyExportsAndDrains(t *testing.T) {
 	var now atomic.Int64
 	base := time.Now()
 	now.Store(0)
-	wh := s.reg.WindowedHistogram("server_request_seconds", nil, obs.L("endpoint", "/v1/estimate"))
+	wh := s.reg.WindowedHistogram("server_request_seconds", nil,
+		obs.L("endpoint", "/v1/estimate"), obs.L("instance", "default"))
 	wh.SetNowFunc(func() time.Time { return base.Add(time.Duration(now.Load())) })
 
 	post(t, ts.URL+"/v1/estimate", `{"query": "Q() :- Employee(1, 'Bob', d)", "scheme": "Natural"}`)
@@ -278,8 +279,8 @@ func TestWindowedLatencyExportsAndDrains(t *testing.T) {
 		return string(b)
 	}
 
-	const p99 = `server_request_seconds_window{endpoint="/v1/estimate",quantile="0.99",window="1m"} `
-	const cnt = `server_request_seconds_window_count{endpoint="/v1/estimate",window="1m"} `
+	const p99 = `server_request_seconds_window{endpoint="/v1/estimate",instance="default",quantile="0.99",window="1m"} `
+	const cnt = `server_request_seconds_window_count{endpoint="/v1/estimate",instance="default",window="1m"} `
 	exp := fetch()
 	if v := promValue(t, exp, p99); v <= 0 {
 		t.Fatalf("windowed p99 = %v, want > 0; exposition:\n%s", v, exp)
@@ -300,7 +301,7 @@ func TestWindowedLatencyExportsAndDrains(t *testing.T) {
 	}
 
 	// The cumulative histogram keeps the observation.
-	if v := promValue(t, exp, `server_request_seconds_count{endpoint="/v1/estimate"} `); v != 1 {
+	if v := promValue(t, exp, `server_request_seconds_count{endpoint="/v1/estimate",instance="default"} `); v != 1 {
 		t.Fatalf("cumulative count = %v, want 1", v)
 	}
 }
@@ -308,7 +309,8 @@ func TestWindowedLatencyExportsAndDrains(t *testing.T) {
 func TestQueueWaitMetricAndRejectReasons(t *testing.T) {
 	s, ts := newTestServer(t, Config{DB: smallDB(t), Workers: 1})
 	post(t, ts.URL+"/v1/estimate", `{"query": "Q() :- Employee(1, 'Bob', d)", "scheme": "Natural"}`)
-	snap := s.reg.Histogram("server_queue_wait_seconds", obs.L("endpoint", "/v1/estimate")).Snapshot()
+	snap := s.reg.Histogram("server_queue_wait_seconds",
+		obs.L("endpoint", "/v1/estimate"), obs.L("instance", "default")).Snapshot()
 	if snap.Count != 1 {
 		t.Fatalf("queue wait observations = %d, want 1", snap.Count)
 	}

@@ -1,0 +1,28 @@
+package syncache
+
+import (
+	"encoding/binary"
+
+	"cqabench/internal/synopsis"
+)
+
+// EncodedSize returns the exact byte length Encode would write for set:
+// magic, version and length varints, payload, and the CRC-32 trailer.
+// It is the canonical memory-accounting figure for a resident synopsis —
+// the estimation service charges each cached synopsis.Set against its
+// `-synopsis-mem-budget` at this size, so the budget corresponds 1:1 to
+// `.syn` byte counts an operator can measure on disk (see the
+// capacity-planning section of docs/REGISTRY.md). Returns 0 for nil.
+func EncodedSize(set *synopsis.Set) int {
+	if set == nil {
+		return 0
+	}
+	payload := appendSet(nil, set)
+	var buf [binary.MaxVarintLen64]byte
+	n := len(magic)
+	n += binary.PutUvarint(buf[:], Version)
+	n += binary.PutUvarint(buf[:], uint64(len(payload)))
+	n += len(payload)
+	n += 4 // CRC-32 trailer
+	return n
+}

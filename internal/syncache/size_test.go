@@ -1,0 +1,24 @@
+package syncache
+
+import (
+	"bytes"
+	"testing"
+)
+
+// EncodedSize must agree byte-for-byte with what Encode writes — the
+// LRU budget in the estimation service is denominated in these sizes,
+// and capacity planning assumes they match the .syn files on disk.
+func TestEncodedSizeMatchesEncode(t *testing.T) {
+	for name, set := range testSets() {
+		var buf bytes.Buffer
+		if err := Encode(&buf, set); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if got, want := EncodedSize(set), buf.Len(); got != want {
+			t.Errorf("%s: EncodedSize = %d, Encode wrote %d bytes", name, got, want)
+		}
+	}
+	if EncodedSize(nil) != 0 {
+		t.Errorf("EncodedSize(nil) = %d, want 0", EncodedSize(nil))
+	}
+}
