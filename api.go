@@ -64,7 +64,10 @@ func ApproximateFromSynopsis(set *Synopsis, scheme Scheme, opts Options) ([]Tupl
 // worker pool (workers <= 0 selects GOMAXPROCS). Results are
 // deterministic for a fixed seed regardless of the worker count, and
 // every worker observes ctx cancellation within about one sampling
-// chunk.
+// chunk. Tuple-level fan-out composes with the intra-query substream
+// pool selected by Options.SamplingWorkers: both derive the same
+// per-tuple root seeds, so a tuple's result is identical whichever
+// pool (or both) computed it.
 func ApproximateParallelContext(ctx context.Context, set *Synopsis, scheme Scheme, opts Options, workers int) ([]TupleFreq, Stats, error) {
 	return cqa.ApxAnswersParallelContext(ctx, set, scheme, opts, workers)
 }

@@ -14,6 +14,7 @@
 package cqabench_test
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -539,6 +540,50 @@ func BenchmarkKernels(b *testing.B) {
 				drawn += len(buf)
 			}
 			b.ReportMetric(float64(drawn)/b.Elapsed().Seconds(), "samples/sec")
+		})
+	}
+}
+
+// BenchmarkIntraQueryParallel measures the intra-query substream fan-out
+// on one expensive KL estimate over the large-|H| kernel pair: the
+// legacy sequential single-stream path against the chunk-scheduled
+// parallel path at 1, 2, and 4 workers. For a fixed seed the parallel
+// result is identical at every pool size, so the sub-benchmarks time
+// the same logical computation; wall-clock scaling tracks the number of
+// cores actually available (GOMAXPROCS caps effective speedup).
+func BenchmarkIntraQueryParallel(b *testing.B) {
+	pair := kernelPair()
+	const eps, delta = 0.05, 0.05
+	b.Run("sequential", func(b *testing.B) {
+		b.ReportAllocs()
+		var samples int64
+		for i := 0; i < b.N; i++ {
+			s := sampler.NewKL(pair)
+			r, err := estimator.MonteCarlo(s, eps, delta, mt.New(mt.DefaultSeed), estimator.Budget{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			samples = r.Samples
+		}
+		registerBenchResult(b, float64(samples))
+	})
+	for _, w := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			b.ReportAllocs()
+			p := estimator.Parallel{
+				Seed:       mt.DefaultSeed,
+				Workers:    w,
+				NewSampler: func() estimator.Sampler { return sampler.NewKL(pair) },
+			}
+			var samples int64
+			for i := 0; i < b.N; i++ {
+				r, err := estimator.MonteCarloParallel(context.Background(), p, eps, delta, estimator.Budget{})
+				if err != nil {
+					b.Fatal(err)
+				}
+				samples = r.Samples
+			}
+			registerBenchResult(b, float64(samples))
 		})
 	}
 }

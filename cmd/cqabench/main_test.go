@@ -389,7 +389,11 @@ func TestBenchCompareGate(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(res.Entries) != 1 || res.Entries[0].Scheme != "KLM" || res.Entries[0].MedianNanos <= 0 {
+	// The smoke tier carries the sequential scenario and its pw4
+	// (intra-query parallel sampling) twin.
+	if len(res.Entries) != 2 || res.Entries[0].Scheme != "KLM" || res.Entries[0].MedianNanos <= 0 ||
+		res.Entries[1].Scenario != "noise-j1-p04-pw4" || res.Entries[1].Scheme != "KLM" ||
+		res.Entries[1].MedianNanos <= 0 {
 		t.Fatalf("bench entries: %+v", res.Entries)
 	}
 	if res.Manifest.Tool != "cqabench bench" || res.Manifest.Config["tier"] != "smoke" {

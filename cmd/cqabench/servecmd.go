@@ -90,6 +90,7 @@ func cmdServe(args []string) error {
 	memBudget := fs.String("synopsis-mem-budget", "0", "resident synopsis memory budget (e.g. 64MiB; 0 = unlimited)")
 	workers := fs.Int("workers", 0, "concurrent estimations (0 = GOMAXPROCS)")
 	queue := fs.Int("queue", 0, "admitted requests allowed to wait beyond -workers (0 = 2x workers)")
+	samplingWorkers := fs.Int("sampling-workers", 0, "default intra-query sampling pool per estimate (0/1 = sequential, N = N substream workers, -1 = auto)")
 	reqTimeout := fs.Duration("request-timeout", 30*time.Second, "per-request deadline when the client sends no timeout_ms")
 	maxTimeout := fs.Duration("max-timeout", 2*time.Minute, "cap on client-requested timeouts")
 	maxBody := fs.Int64("max-body", 1<<20, "request body size cap in bytes")
@@ -126,6 +127,7 @@ func cmdServe(args []string) error {
 		SynopsisMemBudget: budget,
 		Workers:           *workers,
 		QueueDepth:        *queue,
+		SamplingWorkers:   *samplingWorkers,
 		DefaultTimeout:    *reqTimeout,
 		MaxTimeout:        *maxTimeout,
 		MaxBodyBytes:      *maxBody,

@@ -28,6 +28,11 @@ type Spec struct {
 	Balance float64 `json:"balance"`
 	Joins   int     `json:"joins"` // fixed join level (noise, balance families)
 	Level   float64 `json:"level"` // the varied parameter's single value
+	// SamplingWorkers, when ≥ 2, runs the scenario's estimates through
+	// the intra-query substream pool (cqa.Options.SamplingWorkers); 0/1
+	// is the sequential path. Parallel entries are directly comparable
+	// to their sequential twin: same seed, worker-invariant results.
+	SamplingWorkers int `json:"sampling_workers,omitempty"`
 }
 
 // Tier resolves a named tier to its scenario list. Tiers are fixed so
@@ -38,6 +43,7 @@ func Tier(name string) ([]Spec, error) {
 		// The smallest tier: one scenario, suitable for CI smoke jobs.
 		return []Spec{
 			{Name: "noise-j1-p04", Family: "noise", SF: 0.0002, Joins: 1, Level: 0.4},
+			{Name: "noise-j1-p04-pw4", Family: "noise", SF: 0.0002, Joins: 1, Level: 0.4, SamplingWorkers: 4},
 		}, nil
 	case "small":
 		return []Spec{

@@ -241,12 +241,21 @@ func TestRunSmokeTier(t *testing.T) {
 		t.Fatal(err)
 	}
 	root.End()
-	if len(res.Entries) != 1 || progressed != 1 {
-		t.Fatalf("entries=%d progressed=%d, want 1/1", len(res.Entries), progressed)
+	if len(res.Entries) != 2 || progressed != 2 {
+		t.Fatalf("entries=%d progressed=%d, want 2/2 (sequential + pw4 smoke specs)", len(res.Entries), progressed)
 	}
 	e := res.Entries[0]
 	if e.Scenario != "noise-j1-p04" || e.Scheme != "KLM" {
 		t.Errorf("entry identity: %+v", e)
+	}
+	// The parallel twin runs the same scenario through the substream
+	// pool; it draws the same worker-invariant sample counts.
+	e2 := res.Entries[1]
+	if e2.Scenario != "noise-j1-p04-pw4" || e2.Scheme != "KLM" {
+		t.Errorf("parallel entry identity: %+v", e2)
+	}
+	if len(e2.RunsNanos) != 2 || e2.MedianNanos <= 0 || e2.SamplesPerOp <= 0 {
+		t.Errorf("parallel entry measurements: %+v", e2)
 	}
 	if len(e.RunsNanos) != 2 || e.MedianNanos <= 0 || e.PrepNanos <= 0 {
 		t.Errorf("entry measurements: %+v", e)
@@ -262,7 +271,8 @@ func TestRunSmokeTier(t *testing.T) {
 		t.Errorf("manifest: %+v", res.Manifest)
 	}
 	data := root.Data()
-	if len(data.Children) != 1 || data.Children[0].Name != "bench:noise-j1-p04" {
+	if len(data.Children) != 2 || data.Children[0].Name != "bench:noise-j1-p04" ||
+		data.Children[1].Name != "bench:noise-j1-p04-pw4" {
 		t.Fatalf("trace roots: %+v", data.Children)
 	}
 	names := map[string]int{}

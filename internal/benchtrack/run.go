@@ -101,6 +101,12 @@ func runSpec(lab *scenario.Lab, spec Spec, schemes []cqa.Scheme, cfg RunConfig) 
 	specSpan := cfg.Trace.StartChild("bench:" + spec.Name)
 	defer specSpan.End()
 
+	// A spec may pin an intra-query sampling pool; the override lives on
+	// the per-spec copy so other specs keep the invocation's default.
+	if spec.SamplingWorkers != 0 {
+		cfg.Opts.SamplingWorkers = spec.SamplingWorkers
+	}
+
 	// Synopses are resolved once and shared across schemes and
 	// repetitions, as in the harness; their wall time is the entry's
 	// prep figure. With a cache configured, the first run builds and

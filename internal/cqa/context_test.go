@@ -29,6 +29,9 @@ func TestOptionsValidate(t *testing.T) {
 		{"delta NaN", func(o *Options) { o.Delta = math.NaN() }, false},
 		{"negative budget", func(o *Options) { o.Budget.MaxSamples = -1 }, false},
 		{"positive budget", func(o *Options) { o.Budget.MaxSamples = 1000 }, true},
+		{"sampling workers below auto", func(o *Options) { o.SamplingWorkers = -2 }, false},
+		{"sampling workers auto", func(o *Options) { o.SamplingWorkers = -1 }, true},
+		{"sampling workers pool", func(o *Options) { o.SamplingWorkers = 8 }, true},
 		{"tight valid", func(o *Options) { o.Eps = 0.999; o.Delta = 0.001 }, true},
 	}
 	for _, tc := range cases {

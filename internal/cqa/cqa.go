@@ -80,9 +80,42 @@ type Options struct {
 	// Deadline, if set, also bounds the run as a whole, mirroring the
 	// paper's per-scenario timeout.
 	Budget estimator.Budget
+	// SamplingWorkers selects the intra-query sampling mode: 0 or 1 run
+	// the classic sequential single-stream estimators (the default,
+	// bit-identical to every release before the parallel path existed);
+	// n ≥ 2 fan each tuple's draws over n workers via seed-derived
+	// per-chunk substreams (estimator.MonteCarloParallel), and -1 sizes
+	// that pool automatically (GOMAXPROCS). Parallel-mode estimates are
+	// deterministic for a fixed Seed and identical for every pool size —
+	// workers only change wall-clock time — but they consume a different
+	// (substream-keyed) draw schedule than the sequential mode, so the
+	// two modes' estimates differ for the same seed. Cover always runs
+	// sequentially: its adaptive walk has data-dependent control flow
+	// that cannot be pre-chunked. Values below -1 fail Validate.
+	SamplingWorkers int
 	// Convergence opts the run into per-tuple convergence-trajectory
 	// recording (off by default; see ConvergenceOptions).
 	Convergence ConvergenceOptions
+}
+
+// samplingPool resolves SamplingWorkers to the effective intra-query
+// pool size and mode. The pool size goes through poolWorkers, the same
+// clamp the tuple-parallel pool (ApxAnswersParallel) uses.
+func (o Options) samplingPool() (workers int, parallel bool) {
+	if o.SamplingWorkers == 0 || o.SamplingWorkers == 1 {
+		return 1, false
+	}
+	return poolWorkers(o.SamplingWorkers), true
+}
+
+// SamplingPool resolves a SamplingWorkers setting to the effective
+// intra-query pool size and whether the parallel sampling mode is
+// selected — the same resolution the estimators apply. Exposed so
+// callers (the estimation service's metrics, coalescing keys) can
+// canonicalize settings that behave identically (e.g. 0 and 1 are both
+// the sequential mode).
+func SamplingPool(samplingWorkers int) (workers int, parallel bool) {
+	return Options{SamplingWorkers: samplingWorkers}.samplingPool()
 }
 
 // DefaultOptions returns the paper's experimental setting.
@@ -111,6 +144,10 @@ func (o Options) Validate() error {
 	if o.Budget.MaxSamples < 0 {
 		return fmt.Errorf("cqa: negative sample budget %d: %w", o.Budget.MaxSamples, ErrInvalidOptions)
 	}
+	if o.SamplingWorkers < -1 {
+		return fmt.Errorf("cqa: sampling workers %d (want -1 auto, 0/1 sequential, or a pool size ≥ 2): %w",
+			o.SamplingWorkers, ErrInvalidOptions)
+	}
 	return o.Convergence.validate()
 }
 
@@ -133,6 +170,13 @@ type Stats struct {
 	// draw contributes signal — the r-goodness the schemes' sample
 	// complexity depends on.
 	GoodRatio float64
+	// SamplingWorkers is the effective intra-query pool size the run used
+	// (see Options.SamplingWorkers): 1 for the sequential mode and for
+	// Cover, which always runs sequentially.
+	SamplingWorkers int
+	// Chunks counts the 256-draw substream chunks the parallel sampling
+	// path consumed across all tuples; 0 for sequential-mode runs.
+	Chunks int64
 	// Stages is the wall-time breakdown of the run (sampler.init.<kernel>
 	// — the kernel suffix records the shape-based plain/indexed choice —
 	// estimate, other), from the run's span tree. Empty for parallel runs,
@@ -146,8 +190,10 @@ type Stats struct {
 // ApxRelativeFreq approximates R(H, B) for a single admissible pair with
 // the chosen scheme: the body of ApxRelativeFreq in Algorithm 1 after the
 // preprocessing step has established H ≠ ∅.
+// When opts select the parallel sampling mode, the substream schedule
+// is rooted at opts.Seed and src is consulted only by Cover.
 func ApxRelativeFreq(pair *synopsis.Admissible, scheme Scheme, opts Options, src *mt.Source) (float64, int64, error) {
-	res, err := apxRelativeFreq(context.Background(), pair, scheme, opts, src, nil)
+	res, err := apxRelativeFreq(context.Background(), pair, scheme, opts, src, opts.Seed, nil)
 	return res.freq, res.samples, err
 }
 
@@ -158,9 +204,40 @@ type tupleResult struct {
 	freq    float64
 	samples int64
 	good    float64
+	chunks  int64 // substream chunks consumed (parallel mode only)
 	// trajectory is the recorded convergence trajectory, nil unless
 	// opts.Convergence.Enabled was set for this tuple.
 	trajectory []estimator.TrajectoryPoint
+}
+
+// newKernelSampler builds the scheme's sampler for the kernel choice,
+// returning the sampler and the estimate weight (|S•|/|db(B)| for the
+// symbolic-space schemes, 1 otherwise). It is the parallel pool's
+// per-worker factory, so it must be safe to call concurrently — all
+// constructors only read the (immutable) pair.
+func newKernelSampler(pair *synopsis.Admissible, scheme Scheme, kernel sampler.Kernel) (estimator.Sampler, float64) {
+	switch scheme {
+	case Natural:
+		if kernel == sampler.Indexed {
+			return sampler.NewNaturalIndexed(pair), 1
+		}
+		return sampler.NewNatural(pair), 1
+	case KL:
+		if kernel == sampler.Indexed {
+			kl := sampler.NewKLIndexed(pair)
+			return kl, kl.Weight()
+		}
+		kl := sampler.NewKL(pair)
+		return kl, kl.Weight()
+	case KLM:
+		if kernel == sampler.Indexed {
+			klm := sampler.NewKLMIndexed(pair)
+			return klm, klm.Weight()
+		}
+		klm := sampler.NewKLM(pair)
+		return klm, klm.Weight()
+	}
+	return nil, 1
 }
 
 // apxRelativeFreq is ApxRelativeFreq with stage attribution — when
@@ -168,7 +245,12 @@ type tupleResult struct {
 // child spans — and cooperative cancellation: ctx is polled at the
 // estimation loops' chunk boundaries, never perturbing the PRNG stream
 // of an uncancelled run.
-func apxRelativeFreq(ctx context.Context, pair *synopsis.Admissible, scheme Scheme, opts Options, src *mt.Source, parent *obs.Span) (tupleResult, error) {
+//
+// rootSeed roots this tuple's substream schedule when opts select the
+// parallel sampling mode (for multi-tuple runs, the caller derives it
+// per tuple via tupleSeed so every tuple sees independent substreams);
+// the sequential mode and Cover draw from src and never read rootSeed.
+func apxRelativeFreq(ctx context.Context, pair *synopsis.Admissible, scheme Scheme, opts Options, src *mt.Source, rootSeed uint64, parent *obs.Span) (tupleResult, error) {
 	var rec *estimator.Recorder
 	if opts.Convergence.Enabled {
 		rec = estimator.NewRecorder(opts.Convergence.MaxPoints)
@@ -183,36 +265,16 @@ func apxRelativeFreq(ctx context.Context, pair *synopsis.Admissible, scheme Sche
 		space  estimator.SymbolicSpace
 		weight = 1.0
 	)
-	switch scheme {
-	case Natural:
-		if kernel == sampler.Indexed {
-			s = sampler.NewNaturalIndexed(pair)
-		} else {
-			s = sampler.NewNatural(pair)
-		}
-	case KL:
-		if kernel == sampler.Indexed {
-			kl := sampler.NewKLIndexed(pair)
-			s, weight = kl, kl.Weight()
-		} else {
-			kl := sampler.NewKL(pair)
-			s, weight = kl, kl.Weight()
-		}
-	case KLM:
-		if kernel == sampler.Indexed {
-			klm := sampler.NewKLMIndexed(pair)
-			s, weight = klm, klm.Weight()
-		} else {
-			klm := sampler.NewKLM(pair)
-			s, weight = klm, klm.Weight()
-		}
-	case Cover:
+	if scheme == Cover {
 		// Coverage probes images adaptively (data-dependent control flow);
-		// it always runs on the plain symbolic space.
+		// it always runs on the plain symbolic space, sequentially.
 		space = sampler.NewSymbolic(pair)
-	default:
-		sp.End()
-		return tupleResult{}, fmt.Errorf("cqa: unknown scheme %v", scheme)
+	} else {
+		s, weight = newKernelSampler(pair, scheme, kernel)
+		if s == nil {
+			sp.End()
+			return tupleResult{}, fmt.Errorf("cqa: unknown scheme %v", scheme)
+		}
 	}
 	sp.End()
 	obs.Default().Counter("cqa_kernel_selected_total",
@@ -221,9 +283,18 @@ func apxRelativeFreq(ctx context.Context, pair *synopsis.Admissible, scheme Sche
 	sp = parent.StartChild("estimate")
 	var r estimator.Result
 	var err error
-	if space != nil {
+	workers, parallelDraws := opts.samplingPool()
+	switch {
+	case space != nil:
 		r, err = estimator.SelfAdjustingCoverageContext(ctx, space, opts.Eps, opts.Delta, src, opts.Budget)
-	} else {
+	case parallelDraws:
+		p := estimator.Parallel{
+			Seed:       rootSeed,
+			Workers:    workers,
+			NewSampler: func() estimator.Sampler { s, _ := newKernelSampler(pair, scheme, kernel); return s },
+		}
+		r, err = estimator.MonteCarloParallel(ctx, p, opts.Eps, opts.Delta, opts.Budget)
+	default:
 		r, err = estimator.MonteCarloContext(ctx, s, opts.Eps, opts.Delta, src, opts.Budget)
 	}
 	sp.End()
@@ -237,7 +308,7 @@ func apxRelativeFreq(ctx context.Context, pair *synopsis.Admissible, scheme Sche
 	if est < 0 {
 		est = 0
 	}
-	res := tupleResult{freq: est, samples: r.Samples, good: r.Estimate}
+	res := tupleResult{freq: est, samples: r.Samples, good: r.Estimate, chunks: r.Chunks}
 	if rec != nil {
 		res.trajectory = rec.Points()
 	}
@@ -312,6 +383,10 @@ func ApxAnswersFromSetTracedContext(ctx context.Context, set *synopsis.Set, sche
 	src := mt.New(opts.Seed)
 	out := make([]TupleFreq, 0, len(set.Entries))
 	var stats Stats
+	stats.SamplingWorkers = 1
+	if w, par := opts.samplingPool(); par && scheme != Cover {
+		stats.SamplingWorkers = w
+	}
 	var goodSum float64 // per-tuple good ratios weighted by sample count
 	finish := func(err error) {
 		root.End()
@@ -327,8 +402,9 @@ func ApxAnswersFromSetTracedContext(ctx context.Context, set *synopsis.Set, sche
 		e := &set.Entries[i]
 		o := opts
 		o.Convergence.Enabled = opts.Convergence.records(i)
-		res, err := apxRelativeFreq(ctx, e.Pair, scheme, o, src, root)
+		res, err := apxRelativeFreq(ctx, e.Pair, scheme, o, src, tupleSeed(opts.Seed, i), root)
 		stats.Samples += res.samples
+		stats.Chunks += res.chunks
 		goodSum += res.good * float64(res.samples)
 		if res.trajectory != nil {
 			stats.Convergence = append(stats.Convergence, TupleTrajectory{Tuple: i, Points: res.trajectory})

@@ -11,12 +11,34 @@ import (
 	"cqabench/internal/synopsis"
 )
 
+// poolWorkers is the single worker-count clamp every pool in the
+// package goes through: the tuple-parallel pool (ApxAnswersParallel)
+// and the intra-query sampling pool (Options.SamplingWorkers, resolved
+// by Options.samplingPool). Non-positive requests select GOMAXPROCS;
+// the result is always ≥ 1.
+func poolWorkers(requested int) int {
+	if requested <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return requested
+}
+
+// tupleSeed derives tuple i's root seed from the run seed: a golden-
+// ratio stride keeps per-tuple streams (and, in parallel sampling mode,
+// per-tuple substream families) disjoint and deterministic. Both the
+// tuple-parallel pool and the sequential loop's parallel-sampling mode
+// use it, which is why ApxAnswersFromSet and ApxAnswersParallel agree
+// tuple-for-tuple in parallel sampling mode.
+func tupleSeed(seed uint64, i int) uint64 {
+	return seed + uint64(i)*0x9E3779B97F4A7C15
+}
+
 // ApxAnswersParallel is ApxAnswersFromSet with the per-tuple estimations
 // fanned out over a worker pool — the parallel sampling phase the paper's
 // appendix points out needs no synchronization: tuples' synopses are
 // independent and each worker owns a private MT19937-64 stream (seeded
 // deterministically per tuple, so results are reproducible regardless of
-// scheduling). workers <= 0 selects GOMAXPROCS.
+// scheduling). workers <= 0 selects GOMAXPROCS (the poolWorkers clamp).
 func ApxAnswersParallel(set *synopsis.Set, scheme Scheme, opts Options, workers int) ([]TupleFreq, Stats, error) {
 	return ApxAnswersParallelContext(context.Background(), set, scheme, opts, workers)
 }
@@ -34,9 +56,7 @@ func ApxAnswersParallelContext(ctx context.Context, set *synopsis.Set, scheme Sc
 	if ctx == nil {
 		ctx = context.Background()
 	}
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
+	workers = poolWorkers(workers)
 	start := time.Now()
 	n := len(set.Entries)
 	out := make([]TupleFreq, n)
@@ -52,11 +72,14 @@ func ApxAnswersParallelContext(ctx context.Context, set *synopsis.Set, scheme Sc
 			for i := range next {
 				e := &set.Entries[i]
 				// Deterministic per-tuple stream: the same tuple always
-				// sees the same randomness, whatever the worker count.
-				src := mt.New(opts.Seed + uint64(i)*0x9E3779B97F4A7C15)
+				// sees the same randomness, whatever the worker count. The
+				// root seed doubles as the tuple's substream-family root in
+				// parallel sampling mode.
+				root := tupleSeed(opts.Seed, i)
+				src := mt.New(root)
 				o := opts
 				o.Convergence.Enabled = opts.Convergence.records(i)
-				res, err := apxRelativeFreq(ctx, e.Pair, scheme, o, src, nil)
+				res, err := apxRelativeFreq(ctx, e.Pair, scheme, o, src, root, nil)
 				out[i] = TupleFreq{Tuple: e.Tuple, Freq: res.freq}
 				results[i] = res
 				errs[i] = err
@@ -70,11 +93,16 @@ func ApxAnswersParallelContext(ctx context.Context, set *synopsis.Set, scheme Sc
 	wg.Wait()
 
 	var stats Stats
+	stats.SamplingWorkers = 1
+	if w, par := opts.samplingPool(); par && scheme != Cover {
+		stats.SamplingWorkers = w
+	}
 	var goodSum float64
 	var firstErr error
 	firstErrTuple := -1
 	for i := 0; i < n; i++ {
 		stats.Samples += results[i].samples
+		stats.Chunks += results[i].chunks
 		goodSum += results[i].good * float64(results[i].samples)
 		if results[i].trajectory != nil {
 			// Collected in index order, matching the sequential path.

@@ -29,8 +29,33 @@ type BatchSampler interface {
 
 // batchSize is the estimator-side chunk: large enough to amortize
 // interface dispatch and keep the sampler's inner loop hot, small enough
-// that a chunk of float64s stays in L1.
+// that a chunk of float64s stays in L1. It is also the substream chunk
+// of the parallel sampling path (see parallel.go): draw k of a parallel
+// run comes from substream k/batchSize at offset k%batchSize.
 const batchSize = 256
+
+// drawStream is the estimation loops' view of the draw supply: fill
+// returns the next n consecutive draw values (n ≤ batchSize) in a
+// scratch slice valid until the next fill. The sequential
+// implementation (seqStream) pulls them from one PRNG stream through a
+// batcher; the parallel one (chunkScheduler) reassembles them, in
+// order, from seed-derived per-chunk substreams computed by a worker
+// pool. The loops themselves are agnostic: budget accounting,
+// cancellation polling and convergence recording happen at the same
+// points either way.
+type drawStream interface {
+	fill(n int) []float64
+}
+
+// seqStream adapts the classic (sampler, source) pair to drawStream:
+// the draw supply is the single sequential MT19937-64 stream, exactly
+// as before the parallel path existed.
+type seqStream struct {
+	br  *batcher
+	src *mt.Source
+}
+
+func (q *seqStream) fill(n int) []float64 { return q.br.fill(q.src, n) }
 
 // batcher adapts any Sampler to chunked consumption: batch-capable
 // samplers fill the scratch buffer in one call, the rest fall back to a

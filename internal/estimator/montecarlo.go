@@ -66,6 +66,9 @@ type Result struct {
 	// Phases breaks Samples down for the 𝒜𝒜 algorithm: stopping rule,
 	// variance estimation, final run. Zero for other estimators.
 	Phases [3]int64
+	// Chunks counts the substream chunks consumed by the parallel
+	// sampling path (see parallel.go). Zero for sequential runs.
+	Chunks int64
 }
 
 // budgetTracker meters samples against a budget, checking the wall clock
@@ -177,9 +180,16 @@ func StoppingRule(s Sampler, eps, delta float64, src *mt.Source, budget Budget) 
 // canceled the result is byte-identical to StoppingRule.
 func StoppingRuleContext(ctx context.Context, s Sampler, eps, delta float64, src *mt.Source, budget Budget) (Result, error) {
 	bt := &budgetTracker{budget: budget, ctx: trackerCtx(ctx)}
+	return stoppingRuleLoop(ctx, &seqStream{br: newBatcher(s), src: src}, eps, delta, bt)
+}
+
+// stoppingRuleLoop is the stopping-rule core, parameterized by the draw
+// supply. The sequential entry points hand it a seqStream; the parallel
+// ones a chunkScheduler. Budget accounting, cancellation polling and
+// convergence-recorder points are identical either way.
+func stoppingRuleLoop(ctx context.Context, ds drawStream, eps, delta float64, bt *budgetTracker) (Result, error) {
 	rec := RecorderFrom(ctx)
 	upsilon1 := 1 + (1+eps)*upsilon(eps, delta)
-	br := newBatcher(s)
 	sum := 0.0
 	var n int64
 	for sum < upsilon1 {
@@ -194,7 +204,7 @@ func StoppingRuleContext(ctx context.Context, s Sampler, eps, delta float64, src
 		if err != nil {
 			return Result{Samples: bt.samples}, err
 		}
-		for _, v := range br.fill(src, int(granted)) {
+		for _, v := range ds.fill(int(granted)) {
 			sum += v
 			n++
 			if sum >= upsilon1 {
@@ -241,15 +251,22 @@ func MonteCarloContext(ctx context.Context, s Sampler, eps, delta float64, src *
 	if eps <= 0 || eps >= 1 || delta <= 0 || delta >= 1 {
 		return Result{}, fmt.Errorf("estimator: require 0 < eps < 1 and 0 < delta < 1: %w", ErrInvalidOptions)
 	}
+	return monteCarloLoop(ctx, &seqStream{br: newBatcher(s), src: src}, eps, delta, budget)
+}
+
+// monteCarloLoop is the 𝒜𝒜 core, parameterized by the draw supply. All
+// three phases consume the same stream, continuing where the previous
+// phase stopped — exactly the shared-source behavior of the sequential
+// algorithm.
+func monteCarloLoop(ctx context.Context, ds drawStream, eps, delta float64, budget Budget) (Result, error) {
 	bt := &budgetTracker{budget: budget, ctx: trackerCtx(ctx)}
 	rec := RecorderFrom(ctx)
-	br := newBatcher(s)
 
 	// Step 1: rough estimate via the stopping rule at accuracy
 	// min(1/2, √ε) and confidence δ/3.
 	eps1 := math.Min(0.5, math.Sqrt(eps))
-	sub := budget
-	r1, err := StoppingRuleContext(ctx, s, eps1, delta/3, src, sub)
+	bt1 := &budgetTracker{budget: budget, ctx: trackerCtx(ctx)}
+	r1, err := stoppingRuleLoop(ctx, ds, eps1, delta/3, bt1)
 	bt.samples = r1.Samples
 	if err != nil {
 		return Result{Samples: bt.samples}, err
@@ -277,7 +294,7 @@ func MonteCarloContext(ctx context.Context, s Sampler, eps, delta float64, src *
 		if err != nil {
 			return Result{Samples: bt.samples}, err
 		}
-		buf := br.fill(src, int(2*pairs))
+		buf := ds.fill(int(2 * pairs))
 		for t := 0; t < len(buf); t += 2 {
 			d := buf[t] - buf[t+1]
 			sq += d * d / 2
@@ -308,7 +325,7 @@ func MonteCarloContext(ctx context.Context, s Sampler, eps, delta float64, src *
 		if err != nil {
 			return Result{Samples: bt.samples}, err
 		}
-		for _, v := range br.fill(src, int(granted)) {
+		for _, v := range ds.fill(int(granted)) {
 			sum += v
 		}
 		done += granted
@@ -358,9 +375,14 @@ func FixedSamplesContext(ctx context.Context, s Sampler, eps, delta, meanLB floa
 	if meanLB <= 0 {
 		return Result{}, errors.New("estimator: FixedSamples requires a positive mean lower bound")
 	}
+	return fixedSamplesLoop(ctx, &seqStream{br: newBatcher(s), src: src}, eps, delta, meanLB, budget)
+}
+
+// fixedSamplesLoop is the fixed-count core, parameterized by the draw
+// supply (see stoppingRuleLoop).
+func fixedSamplesLoop(ctx context.Context, ds drawStream, eps, delta, meanLB float64, budget Budget) (Result, error) {
 	bt := &budgetTracker{budget: budget, ctx: trackerCtx(ctx)}
 	rec := RecorderFrom(ctx)
-	br := newBatcher(s)
 	n := int64(math.Ceil(upsilon(eps, delta) / meanLB))
 	if n < 1 {
 		n = 1
@@ -375,7 +397,7 @@ func FixedSamplesContext(ctx context.Context, s Sampler, eps, delta, meanLB floa
 		if err != nil {
 			return Result{Samples: bt.samples}, err
 		}
-		for _, v := range br.fill(src, int(granted)) {
+		for _, v := range ds.fill(int(granted)) {
 			sum += v
 		}
 		done += granted

@@ -1,0 +1,189 @@
+package estimator
+
+import (
+	"context"
+	"errors"
+	"math"
+	"testing"
+	"time"
+
+	"cqabench/internal/mt"
+	"cqabench/internal/synopsis"
+)
+
+func identicalResult(t *testing.T, tag string, a, b Result, aErr, bErr error) {
+	t.Helper()
+	if (aErr == nil) != (bErr == nil) {
+		t.Fatalf("%s: errors differ: %v vs %v", tag, aErr, bErr)
+	}
+	if aErr != nil && !errors.Is(bErr, ErrBudget) {
+		t.Fatalf("%s: error %v does not wrap ErrBudget", tag, bErr)
+	}
+	if math.Float64bits(a.Estimate) != math.Float64bits(b.Estimate) {
+		t.Fatalf("%s: estimates differ: %x vs %x (%v vs %v)", tag,
+			math.Float64bits(a.Estimate), math.Float64bits(b.Estimate), a.Estimate, b.Estimate)
+	}
+	if a.Samples != b.Samples {
+		t.Fatalf("%s: sample counts differ: %d vs %d", tag, a.Samples, b.Samples)
+	}
+	if a.Phases != b.Phases {
+		t.Fatalf("%s: phase breakdowns differ: %v vs %v", tag, a.Phases, b.Phases)
+	}
+	if a.Chunks != b.Chunks {
+		t.Fatalf("%s: chunk counts differ: %d vs %d", tag, a.Chunks, b.Chunks)
+	}
+}
+
+// TestParallelWorkerInvariance is the parallel path's core determinism
+// property: for every kernel, shape, seed and budget (including
+// budget-exhaustion error paths), the parallel estimators return
+// byte-identical Results — estimate, sample count, phase breakdown,
+// chunk count — regardless of worker count. Run under -race in CI, this
+// also exercises the scheduler's synchronization.
+func TestParallelWorkerInvariance(t *testing.T) {
+	pairs := map[string]*synopsis.Admissible{
+		"small":     refPair(),
+		"one-block": refOneBlock(),
+		"one-image": refOneImage(),
+	}
+	seeds := []uint64{1, mt.DefaultSeed}
+	budgets := []int64{0, 1, 37, 5000}
+	workerCounts := []int{2, 4, 7}
+	ctx := context.Background()
+	for pname, pair := range pairs {
+		for sname, mk := range refSamplers(pair) {
+			for _, seed := range seeds {
+				for _, max := range budgets {
+					budget := Budget{MaxSamples: max}
+					tag := pname + "/" + sname
+
+					base := Parallel{Seed: seed, Workers: 1, NewSampler: mk}
+					sr1, sr1Err := StoppingRuleParallel(ctx, base, 0.3, 0.2, budget)
+					mc1, mc1Err := MonteCarloParallel(ctx, base, 0.25, 0.3, budget)
+					fs1, fs1Err := FixedSamplesParallel(ctx, base, 0.3, 0.3, 0.05, budget)
+
+					// Re-running with the same configuration must be
+					// byte-identical (bit-reproducibility).
+					sr1b, sr1bErr := StoppingRuleParallel(ctx, base, 0.3, 0.2, budget)
+					identicalResult(t, tag+"/StoppingRule/rerun", sr1, sr1b, sr1Err, sr1bErr)
+
+					for _, w := range workerCounts {
+						p := Parallel{Seed: seed, Workers: w, NewSampler: mk}
+						sr, srErr := StoppingRuleParallel(ctx, p, 0.3, 0.2, budget)
+						identicalResult(t, tag+"/StoppingRule", sr1, sr, sr1Err, srErr)
+						mc, mcErr := MonteCarloParallel(ctx, p, 0.25, 0.3, budget)
+						identicalResult(t, tag+"/MonteCarlo", mc1, mc, mc1Err, mcErr)
+						fs, fsErr := FixedSamplesParallel(ctx, p, 0.3, 0.3, 0.05, budget)
+						identicalResult(t, tag+"/FixedSamples", fs1, fs, fs1Err, fsErr)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestParallelMatchesManualSubstreamFold pins the parallel draw
+// schedule itself: a FixedSamples parallel run must see exactly the
+// values of substreams 0, 1, 2, ... folded in chunk order, as computed
+// by a single-threaded reference.
+func TestParallelMatchesManualSubstreamFold(t *testing.T) {
+	pair := refPair()
+	mk := refSamplers(pair)["KLIndexed"]
+	const seed = 9001
+
+	res, err := FixedSamplesParallel(context.Background(),
+		Parallel{Seed: seed, Workers: 3, NewSampler: mk}, 0.3, 0.3, 0.05, Budget{})
+	if err != nil {
+		t.Fatalf("FixedSamplesParallel: %v", err)
+	}
+
+	// Reference: same sampler drawing n values from substream chunks
+	// sequentially.
+	n := int64(math.Ceil(upsilon(0.3, 0.3) / 0.05))
+	s := mk()
+	var sum float64
+	src := new(mt.Source)
+	for i := int64(0); i < n; i++ {
+		if i%batchSize == 0 {
+			src.Substream(seed, uint64(i/batchSize))
+		}
+		sum += s.Sample(src)
+	}
+	want := sum / float64(n)
+	if math.Float64bits(res.Estimate) != math.Float64bits(want) {
+		t.Fatalf("parallel estimate %v does not match manual substream fold %v", res.Estimate, want)
+	}
+	if res.Samples != n {
+		t.Fatalf("parallel samples %d, want %d", res.Samples, n)
+	}
+	wantChunks := (n + batchSize - 1) / batchSize
+	if res.Chunks != wantChunks {
+		t.Fatalf("parallel chunks %d, want %d", res.Chunks, wantChunks)
+	}
+}
+
+// TestParallelValidate covers the rejection paths shared by all three
+// parallel entry points.
+func TestParallelValidate(t *testing.T) {
+	pair := refPair()
+	mk := refSamplers(pair)["KL"]
+	ctx := context.Background()
+	cases := []struct {
+		name string
+		p    Parallel
+	}{
+		{"zero-workers", Parallel{Seed: 1, Workers: 0, NewSampler: mk}},
+		{"negative-workers", Parallel{Seed: 1, Workers: -3, NewSampler: mk}},
+		{"nil-factory", Parallel{Seed: 1, Workers: 2}},
+	}
+	for _, c := range cases {
+		if _, err := StoppingRuleParallel(ctx, c.p, 0.3, 0.2, Budget{}); !errors.Is(err, ErrInvalidOptions) {
+			t.Errorf("%s: StoppingRuleParallel error %v, want ErrInvalidOptions", c.name, err)
+		}
+		if _, err := MonteCarloParallel(ctx, c.p, 0.25, 0.3, Budget{}); !errors.Is(err, ErrInvalidOptions) {
+			t.Errorf("%s: MonteCarloParallel error %v, want ErrInvalidOptions", c.name, err)
+		}
+		if _, err := FixedSamplesParallel(ctx, c.p, 0.3, 0.3, 0.05, Budget{}); !errors.Is(err, ErrInvalidOptions) {
+			t.Errorf("%s: FixedSamplesParallel error %v, want ErrInvalidOptions", c.name, err)
+		}
+	}
+	if _, err := MonteCarloParallel(ctx, Parallel{Seed: 1, Workers: 2, NewSampler: mk}, 1.5, 0.3, Budget{}); !errors.Is(err, ErrInvalidOptions) {
+		t.Errorf("bad eps: error %v, want ErrInvalidOptions", err)
+	}
+	if _, err := FixedSamplesParallel(ctx, Parallel{Seed: 1, Workers: 2, NewSampler: mk}, 0.3, 0.3, 0, Budget{}); !errors.Is(err, ErrInvalidOptions) {
+		t.Errorf("zero meanLB: error %v, want ErrInvalidOptions", err)
+	}
+}
+
+// TestParallelCancellation checks that the scheduler unwinds cleanly
+// when the caller's context dies: pre-canceled contexts abort before
+// drawing, and mid-run cancellation surfaces as ErrCanceled without
+// deadlocking the pool (the zero-chunk fallback in advance).
+func TestParallelCancellation(t *testing.T) {
+	pair := refPair()
+	mk := refSamplers(pair)["KLM"]
+
+	canceled, cancel := context.WithCancel(context.Background())
+	cancel()
+	res, err := MonteCarloParallel(canceled, Parallel{Seed: 5, Workers: 4, NewSampler: mk}, 0.25, 0.3, Budget{})
+	if !errors.Is(err, ErrCanceled) {
+		t.Fatalf("pre-canceled: error %v, want ErrCanceled", err)
+	}
+	if res.Samples != 0 {
+		t.Fatalf("pre-canceled: %d samples drawn, want 0", res.Samples)
+	}
+
+	ctx, cancelMid := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(2 * time.Millisecond)
+		cancelMid()
+	}()
+	// A very tight eps makes the run long enough that cancellation lands
+	// mid-flight on any hardware; if the run finishes first the estimate
+	// is simply valid and the test passes vacuously.
+	_, err = MonteCarloParallel(ctx, Parallel{Seed: 5, Workers: 4, NewSampler: mk}, 0.005, 0.01, Budget{})
+	if err != nil && !errors.Is(err, ErrCanceled) {
+		t.Fatalf("mid-run cancel: error %v, want ErrCanceled (or nil if finished)", err)
+	}
+	cancelMid()
+}

@@ -39,6 +39,13 @@ type EstimateRequest struct {
 	Seed uint64 `json:"seed,omitempty"`
 	// MaxSamples bounds the per-tuple sample count (0 = unbounded).
 	MaxSamples int64 `json:"max_samples,omitempty"`
+	// SamplingWorkers selects the intra-query sampling mode for this
+	// request: 0 defers to the server's -sampling-workers default, 1
+	// forces the sequential single-stream mode, n ≥ 2 fans each tuple's
+	// draws over an n-worker substream pool, and -1 sizes that pool
+	// automatically. Parallel-mode results are deterministic per seed
+	// and identical for every pool size. Other negatives are a 400.
+	SamplingWorkers int `json:"sampling_workers,omitempty"`
 	// TimeoutMS bounds this request's wall time; 0 selects the server's
 	// default, larger values are capped at its maximum.
 	TimeoutMS int64 `json:"timeout_ms,omitempty"`
@@ -67,13 +74,18 @@ type Answer struct {
 
 // EstimateStats summarizes the work a request performed.
 type EstimateStats struct {
-	TraceID     string  `json:"trace_id"`
-	Samples     int64   `json:"samples"`
-	NumTuples   int     `json:"num_tuples"`
-	GoodRatio   float64 `json:"good_ratio"`
-	QueueWaitMS float64 `json:"queue_wait_ms"`
-	PrepMS      float64 `json:"prep_ms"`
-	ElapsedMS   float64 `json:"elapsed_ms"`
+	TraceID   string  `json:"trace_id"`
+	Samples   int64   `json:"samples"`
+	NumTuples int     `json:"num_tuples"`
+	GoodRatio float64 `json:"good_ratio"`
+	// SamplingWorkers is the effective intra-query pool size the run
+	// used (1 = sequential mode); Chunks counts the substream chunks the
+	// parallel path consumed (0 in sequential mode).
+	SamplingWorkers int     `json:"sampling_workers"`
+	Chunks          int64   `json:"chunks,omitempty"`
+	QueueWaitMS     float64 `json:"queue_wait_ms"`
+	PrepMS          float64 `json:"prep_ms"`
+	ElapsedMS       float64 `json:"elapsed_ms"`
 }
 
 // EstimateResponse is the body of a successful POST /v1/estimate.
@@ -297,7 +309,9 @@ func (s *Server) resolveInstance(w http.ResponseWriter, st *reqState, name strin
 
 // options assembles cqa.Options from a request, validating up front so
 // malformed eps/delta are a 400 before any admission or sampling work.
-func (req *EstimateRequest) options() (cqa.Options, error) {
+// defaultSamplingWorkers is the server's -sampling-workers setting,
+// applied when the request leaves sampling_workers at 0.
+func (req *EstimateRequest) options(defaultSamplingWorkers int) (cqa.Options, error) {
 	opts := cqa.DefaultOptions()
 	if req.Eps != 0 {
 		opts.Eps = req.Eps
@@ -309,6 +323,10 @@ func (req *EstimateRequest) options() (cqa.Options, error) {
 		opts.Seed = req.Seed
 	}
 	opts.Budget.MaxSamples = req.MaxSamples
+	opts.SamplingWorkers = defaultSamplingWorkers
+	if req.SamplingWorkers != 0 {
+		opts.SamplingWorkers = req.SamplingWorkers
+	}
 	if req.Convergence {
 		pts := req.ConvergencePoints
 		if pts > maxConvergencePoints {
@@ -330,9 +348,16 @@ func (req *EstimateRequest) options() (cqa.Options, error) {
 // requested timeout) into the single-flight key component: two requests
 // coalesce only when every estimation-relevant knob agrees.
 func optionsFingerprint(opts cqa.Options, timeoutMS int64) string {
-	return fmt.Sprintf("eps=%g:delta=%g:seed=%d:max=%d:conv=%t:pts=%d:timeout=%d",
+	// The sampling mode changes the draw schedule (and so the results),
+	// so it is part of the key — but canonicalized through SamplingPool:
+	// settings that resolve identically (0 and 1 are both sequential)
+	// coalesce, while sequential and parallel runs never do. The pool
+	// size is included even though parallel results are worker-invariant,
+	// so a response's sampling_workers stat always matches its request.
+	spw, spar := cqa.SamplingPool(opts.SamplingWorkers)
+	return fmt.Sprintf("eps=%g:delta=%g:seed=%d:max=%d:conv=%t:pts=%d:timeout=%d:spw=%d:spar=%t",
 		opts.Eps, opts.Delta, opts.Seed, opts.Budget.MaxSamples,
-		opts.Convergence.Enabled, opts.Convergence.MaxPoints, timeoutMS)
+		opts.Convergence.Enabled, opts.Convergence.MaxPoints, timeoutMS, spw, spar)
 }
 
 // writeRunError maps an estimation/build failure onto a status code and
@@ -365,7 +390,7 @@ func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
-	opts, err := req.options()
+	opts, err := req.options(s.cfg.SamplingWorkers)
 	if err != nil {
 		st.setReason("invalid_options")
 		writeError(w, http.StatusBadRequest, "invalid_options", err.Error())
@@ -443,13 +468,15 @@ func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
 		Coalesced:   shared,
 		Convergence: res.stats.Convergence,
 		Stats: EstimateStats{
-			TraceID:     st.traceID(),
-			Samples:     res.stats.Samples,
-			NumTuples:   res.stats.NumTuples,
-			GoodRatio:   res.stats.GoodRatio,
-			QueueWaitMS: st.queueWaitMS(),
-			PrepMS:      ms(res.prep),
-			ElapsedMS:   ms(res.stats.Elapsed),
+			TraceID:         st.traceID(),
+			Samples:         res.stats.Samples,
+			NumTuples:       res.stats.NumTuples,
+			GoodRatio:       res.stats.GoodRatio,
+			SamplingWorkers: res.stats.SamplingWorkers,
+			Chunks:          res.stats.Chunks,
+			QueueWaitMS:     st.queueWaitMS(),
+			PrepMS:          ms(res.prep),
+			ElapsedMS:       ms(res.stats.Elapsed),
 		},
 	})
 }
@@ -487,6 +514,9 @@ func (s *Server) runEstimate(ctx context.Context, in *Instance, q *cq.Query, ren
 	s.reg.Counter("server_estimate_runs_total", obs.L("instance", in.Name)).Inc()
 	res, stats, err := cqa.ApxAnswersFromSetContext(ectx, set, scheme, opts)
 	espan.End()
+	if stats.Chunks > 0 {
+		s.estimatorChunks(in.Name).Add(stats.Chunks)
+	}
 	if err != nil {
 		return &flightResult{stage: flightStageEstimate, scheme: scheme, stats: stats, err: err}
 	}

@@ -43,6 +43,7 @@ import (
 	"time"
 
 	"cqabench/internal/cq"
+	"cqabench/internal/cqa"
 	"cqabench/internal/obs"
 	"cqabench/internal/obs/manifest"
 	"cqabench/internal/relation"
@@ -104,6 +105,13 @@ type Config struct {
 	// slot beyond the Workers already running. Requests arriving past
 	// Workers+QueueDepth are refused with 429. <= 0 selects 2*Workers.
 	QueueDepth int
+
+	// SamplingWorkers is the default intra-query sampling mode applied
+	// to estimate requests that do not set sampling_workers themselves
+	// (cqa.Options.SamplingWorkers semantics: 0 or 1 sequential, n ≥ 2 a
+	// substream pool of n workers, -1 auto-sized). Values below -1 are
+	// rejected by New.
+	SamplingWorkers int
 
 	// DefaultTimeout is the per-request deadline applied when the client
 	// does not send timeout_ms. <= 0 selects 30s.
@@ -215,6 +223,9 @@ func New(cfg Config) (*Server, error) {
 	if cfg.MaxBodyBytes <= 0 {
 		cfg.MaxBodyBytes = 1 << 20
 	}
+	if cfg.SamplingWorkers < -1 {
+		return nil, fmt.Errorf("server: sampling workers %d (want -1 auto, 0/1 sequential, or a pool size ≥ 2)", cfg.SamplingWorkers)
+	}
 	reg := cfg.Registry
 	if reg == nil {
 		reg = obs.NewRegistry()
@@ -298,6 +309,11 @@ func New(cfg Config) (*Server, error) {
 	}
 	s.reg.Gauge("server_build_info",
 		obs.L("git_sha", sha), obs.L("go_version", m.GoVersion)).Set(1)
+	// estimator_sampling_workers reports the server's default intra-query
+	// pool size (1 = sequential mode); per-request overrides don't move
+	// it, they show up in estimator_chunks_total instead.
+	defaultPool, _ := cqa.SamplingPool(cfg.SamplingWorkers)
+	s.reg.Gauge("estimator_sampling_workers").Set(float64(defaultPool))
 	s.refreshUptime()
 	s.httpSrv = &http.Server{
 		Handler:           s.routes(),
@@ -330,6 +346,13 @@ func (s *Server) instanceSeries(in *Instance) {
 		s.requestSeconds(ep, in.Name)
 		s.queueWaitSeconds(ep, in.Name)
 	}
+	s.estimatorChunks(in.Name)
+}
+
+// estimatorChunks returns the per-instance counter of substream chunks
+// the parallel sampling path consumed (registered eagerly at zero).
+func (s *Server) estimatorChunks(instance string) *obs.Counter {
+	return s.reg.Counter("estimator_chunks_total", obs.L("instance", instance))
 }
 
 // requestSeconds returns the windowed end-to-end latency histogram for
