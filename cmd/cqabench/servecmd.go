@@ -89,7 +89,12 @@ func cmdServe(args []string) error {
 	seed := fs.Uint64("seed", 1, "generator PRNG seed when generating (no -in)")
 	memBudget := fs.String("synopsis-mem-budget", "0", "resident synopsis memory budget (e.g. 64MiB; 0 = unlimited)")
 	workers := fs.Int("workers", 0, "concurrent estimations (0 = GOMAXPROCS)")
-	queue := fs.Int("queue", 0, "admitted requests allowed to wait beyond -workers (0 = 2x workers)")
+	queue := fs.Int("queue", 0, "requests allowed to wait per instance beyond -workers (0 = 2x workers)")
+	quotaRate := fs.Float64("default-quota-rate", 0, "default per-instance request tokens per second (0 = unlimited)")
+	quotaBurst := fs.Float64("default-quota-burst", 0, "default per-instance request token bucket capacity (0 = max(1, rate))")
+	workRate := fs.Float64("default-work-rate", 0, "default per-instance sampling worker-seconds accrued per second (0 = unlimited)")
+	workBurst := fs.Float64("default-work-burst", 0, "default per-instance sampling work bucket capacity in worker-seconds (0 = max(1, rate))")
+	maxConcurrent := fs.Int("default-max-concurrent", 0, "default per-instance cap on concurrently running requests (0 = none)")
 	samplingWorkers := fs.Int("sampling-workers", 0, "default intra-query sampling pool per estimate (0/1 = sequential, N = N substream workers, -1 = auto)")
 	reqTimeout := fs.Duration("request-timeout", 30*time.Second, "per-request deadline when the client sends no timeout_ms")
 	maxTimeout := fs.Duration("max-timeout", 2*time.Minute, "cap on client-requested timeouts")
@@ -123,10 +128,25 @@ func cmdServe(args []string) error {
 		return err
 	}
 
+	var defaultQuota *scenario.QuotaSpec
+	if *quotaRate != 0 || *quotaBurst != 0 || *workRate != 0 || *workBurst != 0 || *maxConcurrent != 0 {
+		defaultQuota = &scenario.QuotaSpec{
+			Rate:          *quotaRate,
+			Burst:         *quotaBurst,
+			WorkRate:      *workRate,
+			WorkBurst:     *workBurst,
+			MaxConcurrent: *maxConcurrent,
+		}
+		if err := defaultQuota.Validate(); err != nil {
+			return err
+		}
+	}
+
 	cfg := server.Config{
 		SynopsisMemBudget: budget,
 		Workers:           *workers,
 		QueueDepth:        *queue,
+		DefaultQuota:      defaultQuota,
 		SamplingWorkers:   *samplingWorkers,
 		DefaultTimeout:    *reqTimeout,
 		MaxTimeout:        *maxTimeout,
@@ -157,6 +177,8 @@ func cmdServe(args []string) error {
 				KeyPrefix: spec.Fingerprint(),
 				Source:    "manifest",
 				Spec:      &spec,
+				Weight:    spec.Weight,
+				Quota:     spec.Quota,
 			})
 		}
 	} else {

@@ -68,6 +68,16 @@ type InstanceSpec struct {
 	SchemaPath string `json:"schema,omitempty"`
 	// Noise optionally injects inconsistency after generation/loading.
 	Noise *NoiseSpec `json:"noise,omitempty"`
+	// Weight is the instance's deficit-round-robin scheduling weight on
+	// the estimation service (0 selects the default weight 1). Like
+	// Quota, it is admission policy, not content: neither participates
+	// in Fingerprint, so retuning an instance never invalidates its
+	// cached synopses.
+	Weight int `json:"weight,omitempty"`
+	// Quota optionally bounds the instance's request rate, sampling
+	// work and concurrency (see QuotaSpec). Nil defers to the service's
+	// default quota, if any.
+	Quota *QuotaSpec `json:"quota,omitempty"`
 }
 
 // instanceNameRE bounds instance names: they ride in URL path segments,
@@ -108,6 +118,14 @@ func (s *InstanceSpec) Validate() error {
 			return fmt.Errorf("scenario: instance %q: bad noise block bounds [%d, %d]", s.Name, n.MinBlock, n.MaxBlock)
 		}
 	}
+	if err := ValidateWeight(s.Weight); err != nil {
+		return fmt.Errorf("scenario: instance %q: %w", s.Name, err)
+	}
+	if s.Quota != nil {
+		if err := s.Quota.Validate(); err != nil {
+			return fmt.Errorf("scenario: instance %q: %w", s.Name, err)
+		}
+	}
 	return nil
 }
 
@@ -145,7 +163,8 @@ func (s *InstanceSpec) withDefaults() InstanceSpec {
 // Fingerprint is a stable string identifying the instance's contents —
 // every parameter that determines the built database, but not the
 // instance name (renaming an instance must not invalidate its cached
-// synopses). It is the syncache key prefix for the instance. For
+// synopses) and not the admission policy (Weight/Quota retuning must
+// not either). It is the syncache key prefix for the instance. For
 // file-backed instances the path stands in for the contents; serving a
 // changed file under the same path from a shared cache directory is an
 // operator error (documented in docs/REGISTRY.md).

@@ -139,12 +139,24 @@ type InstanceSummary struct {
 	Estimates int64 `json:"estimates"`
 	// Spec echoes the build provenance for spec-built instances.
 	Spec *scenario.InstanceSpec `json:"spec,omitempty"`
+	// Weight is the instance's DRR scheduling weight; Quota its
+	// admission limits (absent = unlimited); Generation the policy
+	// version for PATCH if_generation optimistic concurrency.
+	Weight     int64               `json:"weight"`
+	Quota      *scenario.QuotaSpec `json:"quota,omitempty"`
+	Generation int64               `json:"generation"`
 }
 
-// errorResponse is the body of every non-2xx response.
-type errorResponse struct {
-	Error string `json:"error"`
-	Code  string `json:"code"`
+// InstancePatch is the body of PATCH /v1/instances/{name}: present
+// fields are updated, absent fields untouched. Quota replaces the
+// whole quota block ({} clears it to unlimited).
+type InstancePatch struct {
+	Weight *int                `json:"weight,omitempty"`
+	Quota  *scenario.QuotaSpec `json:"quota,omitempty"`
+	// IfGeneration, when set, makes the update conditional on the
+	// instance's current policy generation — a mismatch is a 409
+	// (conflict), the read-modify-write guard for concurrent tuners.
+	IfGeneration *int64 `json:"if_generation,omitempty"`
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
@@ -153,10 +165,6 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	_ = enc.Encode(v)
-}
-
-func writeError(w http.ResponseWriter, status int, code, msg string) {
-	writeJSON(w, status, errorResponse{Error: msg, Code: code})
 }
 
 // parseQuery parses and schema-validates a request's query text.
@@ -179,6 +187,7 @@ func (s *Server) routes() *http.ServeMux {
 	mux.HandleFunc("POST /v1/synopsis", s.instrument("/v1/synopsis", s.handleSynopsis))
 	mux.HandleFunc("GET /v1/instances", s.instrument("/v1/instances", s.handleInstancesList))
 	mux.HandleFunc("POST /v1/instances", s.instrument("/v1/instances", s.handleInstanceRegister))
+	mux.HandleFunc("PATCH /v1/instances/{name}", s.instrument("/v1/instances/{name}", s.handleInstancePatch))
 	mux.HandleFunc("DELETE /v1/instances/{name}", s.instrument("/v1/instances/{name}", s.handleInstanceDelete))
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /version", s.handleVersion)
@@ -278,12 +287,11 @@ func (s *Server) decode(w http.ResponseWriter, r *http.Request, v any) bool {
 		st := reqStateFrom(r.Context())
 		var tooBig *http.MaxBytesError
 		if errors.As(err, &tooBig) {
-			s.reject(w, st, http.StatusRequestEntityTooLarge, "body_too_large",
+			s.reject(w, st, http.StatusRequestEntityTooLarge, codeBodyTooLarge,
 				fmt.Sprintf("request body exceeds %d bytes", tooBig.Limit))
 			return false
 		}
-		st.setReason("bad_request")
-		writeError(w, http.StatusBadRequest, "bad_request", "invalid JSON body: "+err.Error())
+		fail(w, st, http.StatusBadRequest, codeBadRequest, "invalid JSON body: "+err.Error())
 		return false
 	}
 	return true
@@ -295,11 +303,14 @@ func (s *Server) resolveInstance(w http.ResponseWriter, st *reqState, name strin
 	in, err := s.instances.lookup(name)
 	if err != nil {
 		if errors.Is(err, ErrUnknownInstance) {
-			st.setReason("unknown_instance")
-			writeError(w, http.StatusNotFound, "unknown_instance", err.Error())
+			// The requested name rides in the envelope but not on the
+			// request record: metric labels stay bounded by real instances.
+			st.setReason(codeUnknownInst)
+			writeAPIError(w, http.StatusNotFound, APIError{
+				Code: codeUnknownInst, Message: err.Error(), Instance: name,
+			})
 		} else {
-			st.setReason("missing_instance")
-			writeError(w, http.StatusBadRequest, "missing_instance", err.Error())
+			fail(w, st, http.StatusBadRequest, codeMissingInst, err.Error())
 		}
 		return nil, false
 	}
@@ -363,21 +374,20 @@ func optionsFingerprint(opts cqa.Options, timeoutMS int64) string {
 // writeRunError maps an estimation/build failure onto a status code and
 // records the code on the request's debug record.
 func writeRunError(w http.ResponseWriter, st *reqState, err error) {
-	status, code := http.StatusInternalServerError, "internal"
+	status, code := http.StatusInternalServerError, codeInternal
 	switch {
 	case errors.Is(err, cqaerr.ErrInvalidOptions):
-		status, code = http.StatusBadRequest, "invalid_options"
+		status, code = http.StatusBadRequest, codeInvalidOpts
 	case errors.Is(err, context.DeadlineExceeded):
-		status, code = http.StatusGatewayTimeout, "deadline"
+		status, code = http.StatusGatewayTimeout, codeDeadline
 	case errors.Is(err, cqaerr.ErrCanceled), errors.Is(err, context.Canceled):
 		// The client went away; the status is moot but 499-style closure
 		// needs a code, and 504 is the closest standard one.
-		status, code = http.StatusGatewayTimeout, "canceled"
+		status, code = http.StatusGatewayTimeout, codeCanceled
 	case errors.Is(err, estimator.ErrBudget):
-		status, code = http.StatusUnprocessableEntity, "budget_exhausted"
+		status, code = http.StatusUnprocessableEntity, codeBudgetExhausted
 	}
-	st.setReason(code)
-	writeError(w, status, code, err.Error())
+	fail(w, st, status, code, err.Error())
 }
 
 func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
@@ -392,27 +402,33 @@ func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
 	}
 	opts, err := req.options(s.cfg.SamplingWorkers)
 	if err != nil {
-		st.setReason("invalid_options")
-		writeError(w, http.StatusBadRequest, "invalid_options", err.Error())
+		fail(w, st, http.StatusBadRequest, codeInvalidOpts, err.Error())
 		return
 	}
 	var scheme cqa.Scheme
 	auto := req.Scheme == "" || req.Scheme == "auto"
 	if !auto {
 		if scheme, err = cqa.ParseScheme(req.Scheme); err != nil {
-			st.setReason("bad_scheme")
-			writeError(w, http.StatusBadRequest, "bad_scheme", err.Error())
+			fail(w, st, http.StatusBadRequest, codeBadScheme, err.Error())
 			return
 		}
 		st.setScheme(scheme.String())
 	}
 	q, err := parseQuery(req.Query, in.db)
 	if err != nil {
-		st.setReason("bad_query")
-		writeError(w, http.StatusBadRequest, "bad_query", err.Error())
+		fail(w, st, http.StatusBadRequest, codeBadQuery, err.Error())
 		return
 	}
 	rendered := q.Render(in.db.Dict)
+
+	// Quota gate, after validation (malformed requests don't burn
+	// tokens) and before coalescing: every caller — leader or follower
+	// — pays its own request token, and below, its own work charge, so
+	// single-flight cannot be used to ride another tenant's admission.
+	if d := s.sched.admitRequest(in.Name); d != nil {
+		s.rejectQuota(w, st, in.Name, d)
+		return
+	}
 
 	ctx, cancel := s.requestContext(r, req.TimeoutMS)
 	defer cancel()
@@ -440,6 +456,14 @@ func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
 		s.reg.Counter("estimate_coalesced_total", obs.L("instance", in.Name)).Inc()
 		st.setCoalesced()
 	}
+	// Post-charge the sampling work against THIS caller's instance
+	// quota — leader and every coalesced follower alike. The flight key
+	// pins the instance, so all callers charge the same tenant; what
+	// matters is that N coalesced requests debit N times the cost, not
+	// once, or a herd could launder unlimited work through one leader.
+	if res.stats.Elapsed > 0 {
+		s.sched.chargeWork(in.Name, workSeconds(res.stats.Elapsed, res.stats.SamplingWorkers))
+	}
 	if res.err != nil {
 		switch res.stage {
 		case flightStageAdmit:
@@ -449,8 +473,7 @@ func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
 				errors.Is(res.err, context.DeadlineExceeded) {
 				writeRunError(w, st, res.err)
 			} else {
-				st.setReason("bad_query")
-				writeError(w, http.StatusBadRequest, "bad_query", res.err.Error())
+				fail(w, st, http.StatusBadRequest, codeBadQuery, res.err.Error())
 			}
 		default:
 			writeRunError(w, st, res.err)
@@ -487,7 +510,7 @@ func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
 // which each coalesced caller would have hit identically — is returned
 // as a flightResult for the group to fan out.
 func (s *Server) runEstimate(ctx context.Context, in *Instance, q *cq.Query, rendered string, auto bool, scheme cqa.Scheme, opts cqa.Options) *flightResult {
-	release, err := s.acquire(ctx)
+	release, err := s.acquire(ctx, in.Name)
 	if err != nil {
 		return &flightResult{stage: flightStageAdmit, err: err}
 	}
@@ -542,13 +565,19 @@ func (s *Server) handleSynopsis(w http.ResponseWriter, r *http.Request) {
 	}
 	q, err := parseQuery(req.Query, in.db)
 	if err != nil {
-		st.setReason("bad_query")
-		writeError(w, http.StatusBadRequest, "bad_query", err.Error())
+		fail(w, st, http.StatusBadRequest, codeBadQuery, err.Error())
+		return
+	}
+	// Synopsis requests pay a request token (and honor an exhausted
+	// work balance) but are not post-charged: the work bucket meters
+	// sampling, and synopsis construction does none.
+	if d := s.sched.admitRequest(in.Name); d != nil {
+		s.rejectQuota(w, st, in.Name, d)
 		return
 	}
 	ctx, cancel := s.requestContext(r, req.TimeoutMS)
 	defer cancel()
-	release, err := s.acquire(ctx)
+	release, err := s.acquire(ctx, in.Name)
 	if err != nil {
 		s.writeAdmitError(w, st, err)
 		return
@@ -564,8 +593,7 @@ func (s *Server) handleSynopsis(w http.ResponseWriter, r *http.Request) {
 			errors.Is(err, context.DeadlineExceeded) {
 			writeRunError(w, st, err)
 		} else {
-			st.setReason("bad_query")
-			writeError(w, http.StatusBadRequest, "bad_query", err.Error())
+			fail(w, st, http.StatusBadRequest, codeBadQuery, err.Error())
 		}
 		return
 	}
@@ -582,6 +610,7 @@ func (s *Server) handleSynopsis(w http.ResponseWriter, r *http.Request) {
 // summarize builds the wire form of one instance.
 func (s *Server) summarize(in *Instance) InstanceSummary {
 	entries, bytes := s.lru.residentFor(in.Name)
+	weight, quota, gen := s.sched.policy(in.Name)
 	return InstanceSummary{
 		Name:             in.Name,
 		Source:           in.Source,
@@ -591,6 +620,9 @@ func (s *Server) summarize(in *Instance) InstanceSummary {
 		ResidentBytes:    bytes,
 		Estimates:        in.estimates.Load(),
 		Spec:             in.spec,
+		Weight:           weight,
+		Quota:            quota,
+		Generation:       gen,
 	}
 }
 
@@ -621,20 +653,17 @@ func (s *Server) handleInstanceRegister(w http.ResponseWriter, r *http.Request) 
 	}
 	st.setInstance(spec.Name)
 	if err := spec.Validate(); err != nil {
-		st.setReason("bad_instance")
-		writeError(w, http.StatusBadRequest, "bad_instance", err.Error())
+		fail(w, st, http.StatusBadRequest, codeBadInstance, err.Error())
 		return
 	}
 	if err := s.instances.reserve(spec.Name); err != nil {
-		st.setReason("instance_exists")
-		writeError(w, http.StatusConflict, "instance_exists", err.Error())
+		fail(w, st, http.StatusConflict, codeInstanceExists, err.Error())
 		return
 	}
 	db, err := spec.Build()
 	if err != nil {
 		s.instances.release(spec.Name)
-		st.setReason("bad_instance")
-		writeError(w, http.StatusBadRequest, "bad_instance", err.Error())
+		fail(w, st, http.StatusBadRequest, codeBadInstance, err.Error())
 		return
 	}
 	in := &Instance{
@@ -646,6 +675,7 @@ func (s *Server) handleInstanceRegister(w http.ResponseWriter, r *http.Request) 
 		spec:        &spec,
 	}
 	s.instances.commit(in)
+	s.sched.registerTenant(spec.Name, spec.Weight, spec.Quota)
 	s.instanceSeries(in)
 	s.log.Info("server: instance registered",
 		"instance", in.Name, "source", in.Source, "facts", db.NumFacts())
@@ -662,16 +692,62 @@ func (s *Server) handleInstanceDelete(w http.ResponseWriter, r *http.Request) {
 	st.setInstance(name)
 	in, err := s.instances.remove(name)
 	if err != nil {
-		st.setReason("unknown_instance")
-		writeError(w, http.StatusNotFound, "unknown_instance", err.Error())
+		fail(w, st, http.StatusNotFound, codeUnknownInst, err.Error())
 		return
 	}
 	s.lru.dropInstance(in.Name)
+	s.sched.dropTenant(in.Name)
 	s.log.Info("server: instance deleted", "instance", in.Name)
 	writeJSON(w, http.StatusOK, map[string]any{
 		"deleted":   in.Name,
 		"estimates": in.estimates.Load(),
 	})
+}
+
+// handleInstancePatch serves PATCH /v1/instances/{name}: runtime
+// mutation of an instance's scheduling weight and quota. The update is
+// atomic under the scheduler lock; an if_generation mismatch means a
+// concurrent tuner won the race and yields 409 (conflict) so the
+// caller can re-read and retry. Responds with the updated summary.
+func (s *Server) handleInstancePatch(w http.ResponseWriter, r *http.Request) {
+	st := reqStateFrom(r.Context())
+	name := r.PathValue("name")
+	var patch InstancePatch
+	if !s.decode(w, r, &patch) {
+		return
+	}
+	in, err := s.instances.lookup(name)
+	if err != nil {
+		st.setReason(codeUnknownInst)
+		writeAPIError(w, http.StatusNotFound, APIError{
+			Code: codeUnknownInst, Message: err.Error(), Instance: name,
+		})
+		return
+	}
+	st.setInstance(in.Name)
+	if patch.Weight == nil && patch.Quota == nil {
+		fail(w, st, http.StatusBadRequest, codeBadRequest,
+			"empty patch: set weight and/or quota")
+		return
+	}
+	if patch.Weight != nil {
+		if err := scenario.ValidateWeight(*patch.Weight); err != nil {
+			fail(w, st, http.StatusBadRequest, codeBadRequest, err.Error())
+			return
+		}
+	}
+	if patch.Quota != nil {
+		if err := patch.Quota.Validate(); err != nil {
+			fail(w, st, http.StatusBadRequest, codeBadRequest, err.Error())
+			return
+		}
+	}
+	if _, err := s.sched.patch(in.Name, patch.Weight, patch.Quota, patch.IfGeneration); err != nil {
+		fail(w, st, http.StatusConflict, codeConflict, err.Error())
+		return
+	}
+	s.log.Info("server: instance policy updated", "instance", in.Name)
+	writeJSON(w, http.StatusOK, s.summarize(in))
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
@@ -683,7 +759,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	}
 	writeJSON(w, status, map[string]any{
 		"status":    state,
-		"inflight":  s.inflight.Load(),
+		"inflight":  s.sched.inflight(),
 		"workers":   s.workers,
 		"instances": len(s.instances.names()),
 	})

@@ -85,16 +85,16 @@ func TestEstimateConvergenceOptIn(t *testing.T) {
 	if dstatus != http.StatusNotFound {
 		t.Fatalf("no-convergence lookup = %d, want 404", dstatus)
 	}
-	var e errorResponse
-	if err := json.Unmarshal([]byte(dbody), &e); err != nil || e.Code != "no_convergence" {
-		t.Fatalf("no-convergence code = %q (%s)", e.Code, dbody)
+	var e ErrorEnvelope
+	if err := json.Unmarshal([]byte(dbody), &e); err != nil || e.Error.Code != "no_convergence" {
+		t.Fatalf("no-convergence code = %q (%s)", e.Error.Code, dbody)
 	}
 	dstatus, dbody = get(t, ts.URL+"/debug/requests/tr_nonexistent/convergence")
 	if dstatus != http.StatusNotFound {
 		t.Fatalf("unknown-id lookup = %d, want 404", dstatus)
 	}
-	if err := json.Unmarshal([]byte(dbody), &e); err != nil || e.Code != "not_found" {
-		t.Fatalf("unknown-id code = %q (%s)", e.Code, dbody)
+	if err := json.Unmarshal([]byte(dbody), &e); err != nil || e.Error.Code != "not_found" {
+		t.Fatalf("unknown-id code = %q (%s)", e.Error.Code, dbody)
 	}
 }
 

@@ -23,9 +23,9 @@ func TestParallelSamplingEndpoint(t *testing.T) {
 	if status != http.StatusBadRequest {
 		t.Fatalf("sampling_workers=-2: status = %d, want 400 (%s)", status, body)
 	}
-	var e errorResponse
-	if err := json.Unmarshal([]byte(body), &e); err != nil || e.Code != "invalid_options" {
-		t.Fatalf("sampling_workers=-2: code = %q (%v)", e.Code, err)
+	var e ErrorEnvelope
+	if err := json.Unmarshal([]byte(body), &e); err != nil || e.Error.Code != "invalid_options" {
+		t.Fatalf("sampling_workers=-2: code = %q (%v)", e.Error.Code, err)
 	}
 
 	decode := func(workers int) EstimateResponse {

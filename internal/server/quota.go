@@ -1,0 +1,196 @@
+package server
+
+import (
+	"fmt"
+	"math"
+	"net/http"
+	"strconv"
+	"time"
+
+	"cqabench/internal/obs"
+)
+
+// Per-instance quota enforcement: each tenant carries up to two token
+// buckets — requests (1 token per admitted estimate/synopsis request)
+// and sampling work (worker-seconds, post-charged at actual cost) —
+// plus a concurrency cap enforced by the scheduler's dispatch loop.
+// Buckets are guarded by the scheduler mutex and read time through
+// obs.Now, so tests drive refill deterministically via obs.SetNowFunc.
+
+// bucket is one token bucket. rate is tokens/second (0 = never
+// refills: a fixed pool), burst the capacity; buckets start full.
+// Tokens may go negative through debit (work is post-charged), in
+// which case the bucket must refill past zero before new admissions.
+type bucket struct {
+	rate   float64
+	burst  float64
+	tokens float64
+	last   time.Time
+}
+
+func newBucket(rate, burst float64) *bucket {
+	return &bucket{rate: rate, burst: burst, tokens: burst, last: obs.Now()}
+}
+
+// refill advances the bucket to now. A clock that moved backwards
+// (fake clocks, NTP steps) refills nothing rather than draining.
+func (b *bucket) refill(now time.Time) {
+	if b.rate > 0 {
+		if dt := now.Sub(b.last).Seconds(); dt > 0 {
+			b.tokens = math.Min(b.burst, b.tokens+dt*b.rate)
+		}
+	}
+	b.last = now
+}
+
+// take debits n tokens if the bucket holds at least n; refill first.
+func (b *bucket) take(n float64) bool {
+	if b.tokens < n {
+		return false
+	}
+	b.tokens -= n
+	return true
+}
+
+// debit unconditionally removes n tokens; the balance may go negative.
+func (b *bucket) debit(n float64) { b.tokens -= n }
+
+// zeroRateRetry is the Retry-After horizon reported for a bucket that
+// never refills — "come back much later" made finite.
+const zeroRateRetry = time.Hour
+
+// untilAvailable reports how long until the bucket holds at least n
+// tokens at its refill rate (0 if it already does).
+func (b *bucket) untilAvailable(n float64) time.Duration {
+	deficit := n - b.tokens
+	if deficit <= 0 {
+		return 0
+	}
+	if b.rate <= 0 {
+		return zeroRateRetry
+	}
+	d := time.Duration(deficit / b.rate * float64(time.Second))
+	if d > zeroRateRetry {
+		d = zeroRateRetry
+	}
+	return d
+}
+
+// quotaDenial describes one refused admission: which bucket said no
+// and the numbers behind the X-Quota-* response headers.
+type quotaDenial struct {
+	reason     string // "requests" or "work"
+	limit      float64
+	remaining  float64
+	retryAfter time.Duration
+}
+
+func (d *quotaDenial) message(instance string) string {
+	what := "request quota"
+	if d.reason == "work" {
+		what = "sampling work quota"
+	}
+	return fmt.Sprintf("instance %q over its %s (limit %g, retry in %s)",
+		instance, what, d.limit, d.retryAfter.Round(time.Millisecond))
+}
+
+// admitRequest applies instance quota at the front door: the work
+// bucket must be above zero (estimates post-charge their true cost, so
+// a negative balance means earlier work is still being paid off) and
+// the request bucket must yield one token. A nil return is admission.
+func (s *scheduler) admitRequest(name string) *quotaDenial {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	t := s.tenantLocked(name)
+	now := obs.Now()
+	if t.workBucket != nil {
+		t.workBucket.refill(now)
+		if t.workBucket.tokens <= 0 {
+			return &quotaDenial{
+				reason:     "work",
+				limit:      t.workBucket.burst,
+				remaining:  t.workBucket.tokens,
+				retryAfter: t.workBucket.untilAvailable(math.Nextafter(0, 1)),
+			}
+		}
+	}
+	if t.reqBucket != nil {
+		t.reqBucket.refill(now)
+		if !t.reqBucket.take(1) {
+			return &quotaDenial{
+				reason:     "requests",
+				limit:      t.reqBucket.burst,
+				remaining:  t.reqBucket.tokens,
+				retryAfter: t.reqBucket.untilAvailable(1),
+			}
+		}
+	}
+	return nil
+}
+
+// chargeWork debits seconds of sampling work (worker-seconds) from the
+// instance's work bucket. Every caller of a coalesced flight charges
+// its own instance's bucket, so single-flight followers cannot ride a
+// leader's admission to bypass their quota.
+func (s *scheduler) chargeWork(name string, seconds float64) {
+	if seconds <= 0 {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	t := s.tenantLocked(name)
+	if t.workBucket == nil {
+		return
+	}
+	t.workBucket.refill(obs.Now())
+	t.workBucket.debit(seconds)
+}
+
+// workSeconds is the post-charge cost model of one estimate: wall time
+// times the effective sampling pool size (a KL run fanned over 8
+// substream workers consumes 8 worker-seconds per second).
+func workSeconds(elapsed time.Duration, samplingWorkers int) float64 {
+	w := samplingWorkers
+	if w < 1 {
+		w = 1
+	}
+	return elapsed.Seconds() * float64(w)
+}
+
+// quotaHeaderNum renders a quota header value: integers stay integers,
+// fractional token balances keep three decimals.
+func quotaHeaderNum(v float64) string {
+	if v == math.Trunc(v) {
+		return strconv.FormatFloat(v, 'f', 0, 64)
+	}
+	return strconv.FormatFloat(v, 'f', 3, 64)
+}
+
+// rejectQuota writes the 429 quota rejection: Retry-After plus the
+// X-Quota-Limit / X-Quota-Remaining / X-Quota-Reset triple, a
+// quota_exceeded structured envelope, and the rejection counters.
+func (s *Server) rejectQuota(w http.ResponseWriter, st *reqState, instance string, d *quotaDenial) {
+	s.reg.Counter("server_quota_rejections_total",
+		obs.L("instance", instance), obs.L("reason", d.reason)).Inc()
+	s.reg.Counter("server_rejected_total", obs.L("reason", codeQuotaExceeded)).Inc()
+	st.setReason(codeQuotaExceeded)
+	retrySec := int64(math.Ceil(d.retryAfter.Seconds()))
+	if retrySec < 1 {
+		retrySec = 1
+	}
+	remaining := d.remaining
+	if remaining < 0 {
+		remaining = 0
+	}
+	w.Header().Set("Retry-After", strconv.FormatInt(retrySec, 10))
+	w.Header().Set("X-Quota-Limit", quotaHeaderNum(d.limit))
+	w.Header().Set("X-Quota-Remaining", quotaHeaderNum(remaining))
+	w.Header().Set("X-Quota-Reset", fmt.Sprintf("%.3f", d.retryAfter.Seconds()))
+	writeAPIError(w, http.StatusTooManyRequests, APIError{
+		Code:         codeQuotaExceeded,
+		Message:      d.message(instance),
+		Instance:     instance,
+		Retryable:    true,
+		RetryAfterMS: d.retryAfter.Milliseconds(),
+	})
+}

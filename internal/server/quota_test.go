@@ -1,0 +1,155 @@
+package server
+
+import (
+	"testing"
+	"time"
+
+	"cqabench/internal/obs"
+	"cqabench/internal/scenario"
+)
+
+// fakeClock installs a deterministic obs clock for bucket-refill tests
+// and restores the real one on cleanup. Buckets capture their creation
+// time through obs.Now, so install the clock before building tenants.
+type fakeClock struct{ now time.Time }
+
+func installFakeClock(t *testing.T) *fakeClock {
+	t.Helper()
+	c := &fakeClock{now: time.Unix(1_000_000, 0)}
+	obs.SetNowFunc(func() time.Time { return c.now })
+	t.Cleanup(func() { obs.SetNowFunc(nil) })
+	return c
+}
+
+func (c *fakeClock) advance(d time.Duration) { c.now = c.now.Add(d) }
+
+// The request bucket refills at rate up to burst: burst admissions up
+// front, then exactly rate admissions per second, never banking more
+// than burst across idle periods.
+func TestQuotaRequestBucketRefill(t *testing.T) {
+	clock := installFakeClock(t)
+	s := newScheduler(2, 4, nil, obs.NewRegistry())
+	s.registerTenant("a", 1, &scenario.QuotaSpec{Rate: 1, Burst: 2})
+
+	for i := 0; i < 2; i++ {
+		if d := s.admitRequest("a"); d != nil {
+			t.Fatalf("burst admission %d denied: %+v", i, d)
+		}
+	}
+	d := s.admitRequest("a")
+	if d == nil || d.reason != "requests" {
+		t.Fatalf("over-burst admission = %+v, want requests denial", d)
+	}
+	if d.limit != 2 || d.remaining != 0 {
+		t.Fatalf("denial limit/remaining = %g/%g, want 2/0", d.limit, d.remaining)
+	}
+	if d.retryAfter != time.Second {
+		t.Fatalf("retryAfter = %v, want 1s at rate 1", d.retryAfter)
+	}
+
+	// One second refills exactly one token.
+	clock.advance(time.Second)
+	if d := s.admitRequest("a"); d != nil {
+		t.Fatalf("post-refill admission denied: %+v", d)
+	}
+	if d := s.admitRequest("a"); d == nil {
+		t.Fatal("second post-refill admission granted; refill banked too much")
+	}
+
+	// A long idle period caps at burst, not rate×idle.
+	clock.advance(time.Hour)
+	for i := 0; i < 2; i++ {
+		if d := s.admitRequest("a"); d != nil {
+			t.Fatalf("post-idle admission %d denied: %+v", i, d)
+		}
+	}
+	if d := s.admitRequest("a"); d == nil {
+		t.Fatal("idle period banked more than burst")
+	}
+}
+
+// Rate 0 with burst > 0 is a fixed pool: it never refills, and the
+// denial reports the clamped "come back much later" horizon.
+func TestQuotaZeroRateFixedPool(t *testing.T) {
+	clock := installFakeClock(t)
+	s := newScheduler(2, 4, nil, obs.NewRegistry())
+	s.registerTenant("a", 1, &scenario.QuotaSpec{Burst: 2})
+
+	for i := 0; i < 2; i++ {
+		if d := s.admitRequest("a"); d != nil {
+			t.Fatalf("pool admission %d denied: %+v", i, d)
+		}
+	}
+	clock.advance(24 * time.Hour)
+	d := s.admitRequest("a")
+	if d == nil || d.reason != "requests" {
+		t.Fatalf("exhausted pool admission = %+v, want requests denial", d)
+	}
+	if d.retryAfter != zeroRateRetry {
+		t.Fatalf("zero-rate retryAfter = %v, want the %v clamp", d.retryAfter, zeroRateRetry)
+	}
+}
+
+// The work bucket is post-charged: admission only requires a positive
+// balance, the actual cost is debited afterwards and may overdraw the
+// bucket, and new work waits until the balance refills past zero.
+func TestQuotaWorkPostCharge(t *testing.T) {
+	clock := installFakeClock(t)
+	s := newScheduler(2, 4, nil, obs.NewRegistry())
+	s.registerTenant("a", 1, &scenario.QuotaSpec{WorkRate: 1, WorkBurst: 1})
+
+	if d := s.admitRequest("a"); d != nil {
+		t.Fatalf("initial admission denied: %+v", d)
+	}
+	// The run turned out to cost 5 worker-seconds: overdraw to -4.
+	s.chargeWork("a", 5)
+	d := s.admitRequest("a")
+	if d == nil || d.reason != "work" {
+		t.Fatalf("overdrawn admission = %+v, want work denial", d)
+	}
+	if d.remaining != -4 {
+		t.Fatalf("overdrawn remaining = %g, want -4", d.remaining)
+	}
+	// Refilling to exactly 0 is still not positive...
+	clock.advance(4 * time.Second)
+	if d := s.admitRequest("a"); d == nil || d.reason != "work" {
+		t.Fatalf("zero-balance admission = %+v, want work denial", d)
+	}
+	// ...one more second is.
+	clock.advance(time.Second)
+	if d := s.admitRequest("a"); d != nil {
+		t.Fatalf("refilled admission denied: %+v", d)
+	}
+}
+
+// A backwards clock step (NTP, fake clocks) must not drain or refill.
+func TestQuotaBackwardsClock(t *testing.T) {
+	clock := installFakeClock(t)
+	s := newScheduler(2, 4, nil, obs.NewRegistry())
+	s.registerTenant("a", 1, &scenario.QuotaSpec{Rate: 1, Burst: 1})
+	if d := s.admitRequest("a"); d != nil {
+		t.Fatalf("initial admission denied: %+v", d)
+	}
+	clock.advance(-time.Hour)
+	if d := s.admitRequest("a"); d == nil {
+		t.Fatal("backwards clock minted tokens")
+	}
+	clock.advance(time.Hour + time.Second)
+	if d := s.admitRequest("a"); d != nil {
+		t.Fatalf("forward clock after step denied: %+v", d)
+	}
+}
+
+// workSeconds is the cost model: wall time times the sampling pool,
+// with the sequential modes (0/1) costing exactly wall time.
+func TestQuotaWorkSecondsModel(t *testing.T) {
+	if w := workSeconds(2*time.Second, 0); w != 2 {
+		t.Fatalf("sequential(0) = %g, want 2", w)
+	}
+	if w := workSeconds(2*time.Second, 1); w != 2 {
+		t.Fatalf("sequential(1) = %g, want 2", w)
+	}
+	if w := workSeconds(2*time.Second, 8); w != 16 {
+		t.Fatalf("parallel(8) = %g, want 16", w)
+	}
+}

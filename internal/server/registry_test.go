@@ -30,9 +30,9 @@ func doJSON(t *testing.T, method, url, body string) (int, string, string) {
 	}
 	defer resp.Body.Close()
 	b, _ := io.ReadAll(resp.Body)
-	var e errorResponse
+	var e ErrorEnvelope
 	_ = json.Unmarshal(b, &e)
-	return resp.StatusCode, e.Code, string(b)
+	return resp.StatusCode, e.Error.Code, string(b)
 }
 
 // The registry API lifecycle against a server that starts empty:

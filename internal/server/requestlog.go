@@ -50,6 +50,11 @@ type RequestRecord struct {
 	// (queue_full, deadline, bad_query, ...); "" on success.
 	Reason string    `json:"reason,omitempty"`
 	Stages []StageMS `json:"stages,omitempty"`
+	// Sched exposes the admission scheduler's decision for requests
+	// that reached it: whether the request queued, how many waiters
+	// were ahead in its instance's FIFO, and the instance's DRR weight
+	// and deficit at enqueue time.
+	Sched *SchedDecision `json:"sched,omitempty"`
 
 	// trace is the request's full span tree, kept for the per-request
 	// Chrome-trace export; not serialized in listings. convergence is the
@@ -212,6 +217,29 @@ func (st *reqState) setConvergence(traj []cqa.TupleTrajectory) {
 		return
 	}
 	st.rec.convergence = traj
+}
+
+// SchedDecision is the admission scheduler's per-request decision as
+// surfaced by /debug/requests.
+type SchedDecision struct {
+	// Queued reports whether the request waited in its instance FIFO
+	// (false = granted a slot immediately).
+	Queued bool `json:"queued"`
+	// QueuedAhead counts the waiters ahead in the instance queue at
+	// enqueue time (0 when not queued).
+	QueuedAhead int `json:"queued_ahead,omitempty"`
+	// Weight and Deficit snapshot the instance's DRR state at
+	// admission.
+	Weight  int64 `json:"weight"`
+	Deficit int64 `json:"deficit,omitempty"`
+}
+
+// setSched records the scheduling decision; nil-safe.
+func (st *reqState) setSched(d SchedDecision) {
+	if st == nil {
+		return
+	}
+	st.rec.Sched = &d
 }
 
 // setQueueWait records the admission queue wait; nil-safe.

@@ -12,11 +12,16 @@
 // a deadline-bound context.Context that flows into the estimators, so a
 // client disconnect or a request timeout aborts the sampling loops
 // within about one 256-draw chunk. Concurrency is bounded by a worker
-// pool with admission control — when Workers requests are running and
-// QueueDepth more are waiting, further requests are refused immediately
-// with 429 rather than queueing without bound; during graceful
-// shutdown, in-flight requests drain while new ones are refused with
-// 503.
+// pool with per-instance admission control: each instance owns a
+// bounded queue (Config.QueueDepth) and worker slots are granted by a
+// weighted deficit-round-robin scheduler (see scheduler.go), so a hot
+// instance cannot starve a light one. Instances may additionally carry
+// token-bucket quotas on requests and sampling work plus a concurrency
+// cap (see quota.go); requests over quota or over a full queue are
+// refused immediately with 429 rather than queueing without bound, and
+// during graceful shutdown, in-flight requests drain while new ones
+// are refused with 503. Every rejection carries the structured error
+// envelope of apierror.go.
 //
 // Two mechanisms keep the multi-instance service within its means.
 // Resident synopses live under one LRU byte budget
@@ -70,6 +75,11 @@ type InstanceConfig struct {
 	// Spec, when the instance was built from a scenario.InstanceSpec,
 	// carries the build provenance into the instance listing.
 	Spec *scenario.InstanceSpec
+	// Weight is the instance's DRR scheduling weight (0 selects 1).
+	Weight int
+	// Quota bounds the instance's request rate, sampling work and
+	// concurrency; nil defers to Config.DefaultQuota.
+	Quota *scenario.QuotaSpec
 }
 
 // Config parameterizes a Server. The zero value of every field selects
@@ -101,10 +111,15 @@ type Config struct {
 	// <= 0 selects GOMAXPROCS.
 	Workers int
 
-	// QueueDepth bounds how many admitted requests may wait for a worker
-	// slot beyond the Workers already running. Requests arriving past
-	// Workers+QueueDepth are refused with 429. <= 0 selects 2*Workers.
+	// QueueDepth bounds how many requests may wait for a worker slot
+	// per instance. Requests arriving at an instance whose queue is
+	// full are refused with 429 (queue_full). <= 0 selects 2*Workers.
 	QueueDepth int
+
+	// DefaultQuota, when non-nil, applies to every instance that does
+	// not declare its own quota (manifest "quota" block or
+	// InstanceConfig.Quota). Nil means no limits by default.
+	DefaultQuota *scenario.QuotaSpec
 
 	// SamplingWorkers is the default intra-query sampling mode applied
 	// to estimate requests that do not set sampling_workers themselves
@@ -164,11 +179,9 @@ type Server struct {
 	workers int
 	depth   int
 
-	// sem holds one token per running estimation; admitted counts
-	// running + waiting requests against workers+depth.
-	sem      chan struct{}
-	admitted atomic.Int64
-	inflight atomic.Int64
+	// sched is the DRR fair scheduler: per-instance bounded queues,
+	// weighted slot grants, token-bucket quotas and concurrency caps.
+	sched    *scheduler
 	draining atomic.Bool
 
 	// instances is the name -> database registry; lru governs resident
@@ -248,13 +261,18 @@ func New(cfg Config) (*Server, error) {
 		collected := manifest.Collect("server", nil)
 		m = &collected
 	}
+	if cfg.DefaultQuota != nil {
+		if err := cfg.DefaultQuota.Validate(); err != nil {
+			return nil, fmt.Errorf("server: default quota: %w", err)
+		}
+	}
 	s := &Server{
 		cfg:       cfg,
 		reg:       reg,
 		log:       logger,
 		workers:   workers,
 		depth:     depth,
-		sem:       make(chan struct{}, workers),
+		sched:     newScheduler(workers, depth, cfg.DefaultQuota, reg),
 		instances: newInstanceRegistry(reg),
 		lru:       newSynopsisLRU(cfg.SynopsisMemBudget, reg),
 		flights:   newFlightGroup(),
@@ -270,13 +288,21 @@ func New(cfg Config) (*Server, error) {
 			Created:     time.Now(),
 			Fingerprint: cfg.CacheKeyPrefix,
 			db:          cfg.DB,
-		}); err != nil {
+		}, 0, nil); err != nil {
 			return nil, err
 		}
 	}
 	for _, ic := range cfg.Instances {
 		if ic.DB == nil {
 			return nil, fmt.Errorf("server: instance %q has no database", ic.Name)
+		}
+		if err := scenario.ValidateWeight(ic.Weight); err != nil {
+			return nil, fmt.Errorf("server: instance %q: %w", ic.Name, err)
+		}
+		if ic.Quota != nil {
+			if err := ic.Quota.Validate(); err != nil {
+				return nil, fmt.Errorf("server: instance %q: %w", ic.Name, err)
+			}
 		}
 		source := ic.Source
 		if source == "" {
@@ -289,7 +315,7 @@ func New(cfg Config) (*Server, error) {
 			Fingerprint: ic.KeyPrefix,
 			db:          ic.DB,
 			spec:        ic.Spec,
-		}); err != nil {
+		}, ic.Weight, ic.Quota); err != nil {
 			return nil, err
 		}
 	}
@@ -326,12 +352,14 @@ func New(cfg Config) (*Server, error) {
 // instance (rejected before routing, or unknown names).
 const noInstance = "none"
 
-// registerInstance adds in to the registry and eagerly registers its
-// per-instance windowed latency series.
-func (s *Server) registerInstance(in *Instance) error {
+// registerInstance adds in to the registry, installs its scheduling
+// policy (weight 0 and quota nil select the defaults), and eagerly
+// registers its per-instance windowed latency series.
+func (s *Server) registerInstance(in *Instance, weight int, quota *scenario.QuotaSpec) error {
 	if err := s.instances.add(in); err != nil {
 		return err
 	}
+	s.sched.registerTenant(in.Name, weight, quota)
 	s.instanceSeries(in)
 	s.log.Info("server: instance registered",
 		"instance", in.Name, "source", in.Source, "facts", in.db.NumFacts())
@@ -410,13 +438,13 @@ func (s *Server) Start(addr string) (string, error) {
 // their connections are closed).
 func (s *Server) Shutdown(ctx context.Context) error {
 	s.draining.Store(true)
-	s.log.Info("server: draining", "inflight", s.inflight.Load())
+	s.log.Info("server: draining", "inflight", s.sched.inflight())
 	return s.httpSrv.Shutdown(ctx)
 }
 
 // Inflight reports the number of requests currently holding a worker
 // slot. Exposed for tests and the drain log line.
-func (s *Server) Inflight() int64 { return s.inflight.Load() }
+func (s *Server) Inflight() int64 { return s.sched.inflight() }
 
 // Admission errors, produced by acquire and mapped onto HTTP statuses
 // by writeAdmitError. Sentinels so single-flight followers can share
@@ -426,82 +454,62 @@ var (
 	errQueueFull = errors.New("admission queue full")
 )
 
-// acquire applies the admission policy: refuse while draining (503),
-// refuse when workers+depth requests are already admitted (429), then
-// wait for a worker slot, giving up if ctx expires first (504). On nil
-// error the caller must call release exactly once.
+// acquire applies the admission policy for instance: refuse while
+// draining (503), refuse when the instance's queue is full (429), then
+// wait for the DRR scheduler to grant a worker slot, giving up if ctx
+// expires first (504). On nil error the caller must call release
+// exactly once.
 //
 // The wait for a slot is attributed to a queue.wait child of the
 // request's span and observed in server_queue_wait_seconds, so queue
 // time is separable from estimation time both per request and in the
-// aggregate quantiles.
-func (s *Server) acquire(ctx context.Context) (release func(), err error) {
+// aggregate quantiles; the scheduling decision (queued or not, queue
+// position, weight, deficit) lands on the request's debug record.
+func (s *Server) acquire(ctx context.Context, instance string) (release func(), err error) {
 	st := reqStateFrom(ctx)
 	if s.draining.Load() {
 		return nil, errDraining
 	}
-	if n := s.admitted.Add(1); n > int64(s.workers+s.depth) {
-		s.admitted.Add(-1)
-		return nil, fmt.Errorf("%w: %d requests already admitted (workers=%d queue=%d)",
-			errQueueFull, n-1, s.workers, s.depth)
-	}
-	s.gauges()
 	qspan := obs.FromContext(ctx).StartChild("queue.wait")
 	waitStart := time.Now()
-	recordWait := func() {
-		qspan.End()
-		wait := time.Since(waitStart)
-		st.setQueueWait(wait)
-		endpoint, instance := "unknown", noInstance
+	release, out, err := s.sched.acquire(ctx, instance)
+	qspan.End()
+	wait := time.Since(waitStart)
+	st.setQueueWait(wait)
+	st.setSched(SchedDecision{
+		Queued:      out.queued,
+		QueuedAhead: out.queuedAhead,
+		Weight:      out.weight,
+		Deficit:     out.deficit,
+	})
+	if !errors.Is(err, errQueueFull) {
+		// Queue-full rejections never waited; don't pollute the wait SLO.
+		endpoint := "unknown"
 		if st != nil {
 			endpoint = st.rec.Endpoint
-			if st.rec.Instance != "" {
-				instance = st.rec.Instance
-			}
 		}
-		s.queueWaitSeconds(endpoint, instance).ObserveDuration(wait)
+		name := instance
+		if name == "" {
+			name = noInstance
+		}
+		s.queueWaitSeconds(endpoint, name).ObserveDuration(wait)
 	}
-	select {
-	case s.sem <- struct{}{}:
-		recordWait()
-	case <-ctx.Done():
-		recordWait()
-		s.admitted.Add(-1)
-		s.gauges()
-		return nil, fmt.Errorf("request expired while queued: %w", ctx.Err())
+	if err != nil {
+		return nil, err
 	}
-	s.inflight.Add(1)
-	s.gauges()
-	return func() {
-		<-s.sem
-		s.inflight.Add(-1)
-		s.admitted.Add(-1)
-		s.gauges()
-	}, nil
-}
-
-// gauges refreshes the queue-depth and inflight gauges. The two loads
-// race with concurrent admissions, which is fine for monitoring.
-func (s *Server) gauges() {
-	running := s.inflight.Load()
-	waiting := s.admitted.Load() - running
-	if waiting < 0 {
-		waiting = 0
-	}
-	s.reg.Gauge("server_inflight").Set(float64(running))
-	s.reg.Gauge("server_queue_depth").Set(float64(waiting))
+	return release, nil
 }
 
 // writeAdmitError maps an acquire failure onto the admission error
 // model (503 draining, 429 queue_full, 504 deadline), counts it, and
 // records the reason on the request's debug record (st may be nil).
 func (s *Server) writeAdmitError(w http.ResponseWriter, st *reqState, err error) {
-	status, reason := http.StatusGatewayTimeout, "deadline"
+	status, reason := http.StatusGatewayTimeout, codeDeadline
 	switch {
 	case errors.Is(err, errDraining):
-		status, reason = http.StatusServiceUnavailable, "draining"
+		status, reason = http.StatusServiceUnavailable, codeDraining
 	case errors.Is(err, errQueueFull):
-		status, reason = http.StatusTooManyRequests, "queue_full"
+		status, reason = http.StatusTooManyRequests, codeQueueFull
 	}
 	s.reject(w, st, status, reason, err.Error())
 }
@@ -510,11 +518,22 @@ func (s *Server) writeAdmitError(w http.ResponseWriter, st *reqState, err error)
 // on the request's debug record (st may be nil).
 func (s *Server) reject(w http.ResponseWriter, st *reqState, status int, reason, msg string) {
 	s.reg.Counter("server_rejected_total", obs.L("reason", reason)).Inc()
-	st.setReason(reason)
+	var retryAfterMS int64
 	if status == http.StatusTooManyRequests || status == http.StatusServiceUnavailable {
 		w.Header().Set("Retry-After", "1")
+		retryAfterMS = 1000
 	}
-	writeError(w, status, reason, msg)
+	st.setReason(reason)
+	instance := ""
+	if st != nil {
+		instance = st.rec.Instance
+	}
+	writeAPIError(w, status, APIError{
+		Code:         reason,
+		Message:      msg,
+		Instance:     instance,
+		RetryAfterMS: retryAfterMS,
+	})
 }
 
 // requestContext derives the per-request context: the client's

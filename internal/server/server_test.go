@@ -101,12 +101,19 @@ func TestEstimateHandlerTable(t *testing.T) {
 				t.Fatalf("status = %d, want %d (body %s)", status, tc.status, body)
 			}
 			if tc.code != "" {
-				var e errorResponse
+				var e ErrorEnvelope
 				if err := json.Unmarshal([]byte(body), &e); err != nil {
 					t.Fatalf("error body %q not JSON: %v", body, err)
 				}
-				if e.Code != tc.code {
-					t.Fatalf("code = %q, want %q (%s)", e.Code, tc.code, e.Error)
+				if e.Error.Code != tc.code {
+					t.Fatalf("code = %q, want %q (%s)", e.Error.Code, tc.code, e.Error.Message)
+				}
+				if e.Error.Message == "" {
+					t.Fatalf("error %q without a message", tc.code)
+				}
+				// Deprecated flat mirrors stay for one release.
+				if e.Code != tc.code || e.Message != e.Error.Message {
+					t.Fatalf("legacy mirror fields out of sync: %s", body)
 				}
 			}
 		})
@@ -333,9 +340,9 @@ func TestQueueFullRejectsWith429(t *testing.T) {
 	second := heavyPost(ts, ts.Client(), ctx, 600_001)
 	// Wait for the second request to occupy the queue slot.
 	deadline := time.Now().Add(5 * time.Second)
-	for s.admitted.Load() != 2 {
+	for s.sched.admittedTotal() != 2 {
 		if time.Now().After(deadline) {
-			t.Fatalf("admitted = %d, want 2", s.admitted.Load())
+			t.Fatalf("admitted = %d, want 2", s.sched.admittedTotal())
 		}
 		time.Sleep(2 * time.Millisecond)
 	}
@@ -345,6 +352,13 @@ func TestQueueFullRejectsWith429(t *testing.T) {
 	}
 	if hdr.Get("Retry-After") == "" {
 		t.Fatal("429 without Retry-After")
+	}
+	var e ErrorEnvelope
+	if err := json.Unmarshal([]byte(body), &e); err != nil {
+		t.Fatalf("429 body %q not JSON: %v", body, err)
+	}
+	if e.Error.Code != "queue_full" || !e.Error.Retryable || e.Error.Instance != "default" {
+		t.Fatalf("queue_full envelope = %+v", e.Error)
 	}
 	if reg := s.Registry(); reg.Counter("server_rejected_total", obs.L("reason", "queue_full")).Value() == 0 {
 		t.Fatal("rejection not counted")

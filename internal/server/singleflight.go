@@ -23,6 +23,12 @@ import (
 // rejection or error, which every caller would have hit identically —
 // but a follower whose own deadline expires while waiting gets its own
 // 504 and detaches without affecting the flight.
+//
+// Coalescing never bypasses per-instance quota: every caller passes
+// the quota gate before joining a flight (one request token each) and
+// post-charges the flight's sampling cost against its own instance
+// afterwards (see handleEstimate), so N coalesced requests debit N
+// times the work even though the estimator ran once.
 
 // flightKey identifies one coalescable estimate computation.
 type flightKey struct {
